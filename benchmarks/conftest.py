@@ -1,0 +1,27 @@
+"""Shared state for the benchmark suite.
+
+Figs 6 and 7 are two views of the same weak-scaling runs and Figs 8 and 9
+share the strong-scaling runs, so those run sets are computed once per
+session and cached here.
+"""
+
+import pytest
+
+from repro.harness import experiments as E
+from repro.parallel.runtime import Backend
+
+_cache = {}
+
+
+@pytest.fixture(scope="session")
+def weak_scaling_runs():
+    if "weak" not in _cache:
+        _cache["weak"] = E.exp_weak_scaling()
+    return _cache["weak"]
+
+
+@pytest.fixture(scope="session")
+def strong_scaling_runs():
+    if "strong" not in _cache:
+        _cache["strong"] = E.exp_strong_scaling(backends=tuple(Backend))
+    return _cache["strong"]

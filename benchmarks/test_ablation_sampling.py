@@ -1,0 +1,26 @@
+"""Ablation: what the feature-directed part of §3.3 buys.
+
+The paper argues access *history* is a poor predictor under AMR because the
+computed subdomain moves between steps; feature-directed sampling
+pre-executes the next step's predicates instead.  This ablation compares
+NVBM writes under (a) feature-directed placement, (b) history-based
+placement (last step's mixed cells), and (c) no transformation at all.
+"""
+
+from repro.harness import experiments as E
+from repro.harness.report import print_table
+
+
+def test_ablation_sampling_policy(benchmark):
+    rows = benchmark.pedantic(E.exp_ablation_sampling, rounds=1, iterations=1)
+    print_table(
+        "Ablation: subtree-placement policy vs NVBM writes",
+        ["policy", "NVBM writes", "exec time (s)"],
+        [(r.policy, r.nvbm_writes, r.makespan_s) for r in rows],
+    )
+    by = {r.policy: r for r in rows}
+    # any transformation beats none on NVBM writes
+    assert by["feature-directed"].nvbm_writes < by["none"].nvbm_writes
+    # feature-directed is at least as good as history-based
+    assert by["feature-directed"].nvbm_writes \
+        <= 1.1 * by["history"].nvbm_writes

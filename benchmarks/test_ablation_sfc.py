@@ -1,0 +1,55 @@
+"""SFC ablation: Morton vs Hilbert ordering for the Partition routine.
+
+The paper partitions along a space-filling curve (the Salmon lineage it
+cites); the curve choice sets the rank-boundary surface and therefore the
+per-step ghost-exchange volume.  This ablation partitions the droplet
+workload's (adaptive) mesh with both curves and compares edge cuts.
+"""
+
+from repro.config import DRAM_SPEC, SolverConfig
+from repro.harness.report import print_table
+from repro.nvbm.arena import MemoryArena
+from repro.nvbm.clock import SimClock
+from repro.nvbm.pointers import ARENA_DRAM
+from repro.octree.tree import PointerOctree
+from repro.parallel.sfc import compare_curves
+from repro.solver.simulation import DropletSimulation
+
+
+def _droplet_tree(steps=20, max_level=5):
+    clock = SimClock()
+    tree = PointerOctree(
+        MemoryArena(ARENA_DRAM, DRAM_SPEC, clock, 1 << 17), dim=2
+    )
+    sim = DropletSimulation(
+        tree, SolverConfig(dim=2, min_level=2, max_level=max_level, dt=0.01),
+        clock=clock,
+    )
+    sim.run(steps)
+    return tree
+
+
+def test_ablation_sfc(benchmark):
+    tree = _droplet_tree()
+
+    def run():
+        return {p: compare_curves(tree, nranks=p) for p in (6, 12, 24, 48)}
+
+    cuts = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Ablation: partition edge cut by space-filling curve "
+        "(droplet mesh)",
+        ["ranks", "Morton cut", "Hilbert cut", "Hilbert saves"],
+        [
+            (p, c["morton"], c["hilbert"],
+             f"{100 * (c['morton'] - c['hilbert']) / max(1, c['morton']):.0f}%")
+            for p, c in cuts.items()
+        ],
+    )
+    total_m = sum(c["morton"] for c in cuts.values())
+    total_h = sum(c["hilbert"] for c in cuts.values())
+    # Hilbert's locality wins in aggregate on the adaptive mesh
+    assert total_h < total_m
+    # and never loses badly at any point
+    for c in cuts.values():
+        assert c["hilbert"] <= 1.3 * c["morton"]

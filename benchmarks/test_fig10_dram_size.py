@@ -1,0 +1,35 @@
+"""Fig 10: impact of the DRAM size configured for the C0 tree.
+
+Paper anchors (6.75M elements, 100 ranks, 20 GB max in-core demand):
+execution time falls from 233.5 s at 1 GB to 89.1 s at 8 GB (2.6x); C0/C1
+merge count falls from 491 at 1 GB to once-per-step at 8 GB; at 8 GB
+PM-octree is very close to in-core; even at 1 GB it clearly beats
+out-of-core.
+"""
+
+from repro.harness import experiments as E
+from repro.harness.report import print_table
+
+
+def test_fig10_dram_size(benchmark):
+    rows = benchmark.pedantic(E.exp_fig10, rounds=1, iterations=1)
+    print_table(
+        "Fig 10: execution time vs DRAM configured for C0",
+        ["configuration", "C0 budget (octants)", "time (s)", "merges"],
+        [(r.label, r.dram_budget_octants, r.makespan_s, r.merges)
+         for r in rows],
+    )
+    by_label = {r.label: r for r in rows}
+    pm = [r for r in rows if r.label.startswith("PM-octree")]
+    # larger budget -> faster (allowing small noise between adjacent points)
+    assert pm[-1].makespan_s < pm[0].makespan_s
+    # at the largest budget PM is close to in-core (within ~60%); the paper
+    # reports "very close" for the same reason: PM persists only deltas
+    incore = by_label["in-core"].makespan_s
+    assert pm[-1].makespan_s < 1.6 * incore
+    # even the smallest budget beats out-of-core by a wide margin (§5.4's
+    # three reasons: page granularity, index lookups, pointer-free balance)
+    assert by_label["out-of-core"].makespan_s > 3.0 * pm[0].makespan_s
+    # (the paper's per-step merge-count anchor, 491 merges at 1 GB, does not
+    # map onto this architecture's eviction counter — see EXPERIMENTS.md —
+    # so merge counts are reported above but not asserted)

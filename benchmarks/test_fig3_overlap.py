@@ -1,0 +1,42 @@
+"""Fig 3: octant overlap ratio of V_{i-1}/V_i and memory per 1000 octants.
+
+Paper: over 150 droplet-ejection steps the overlap ranges 39%-99%; sharing
+reduces memory per 1000 octants by up to 1.98x vs keeping two full copies,
+and at 99.5% overlap the footprint is only 1.01x a single copy.
+"""
+
+import numpy as np
+
+from repro.harness import experiments as E
+from repro.harness.report import print_table
+
+
+def test_fig3_overlap_and_memory(benchmark):
+    rows = benchmark.pedantic(E.exp_fig3, rounds=1, iterations=1)
+    sampled = rows[:: max(1, len(rows) // 20)]
+    print_table(
+        "Fig 3: overlap ratio and memory usage per 1000 octants",
+        ["step", "overlap", "octants", "KB/1000 oct",
+         "reduction vs 2 copies", "factor vs 1 copy"],
+        [
+            (r.step, r.overlap_ratio, r.octants, r.kb_per_1000_octants,
+             r.reduction_vs_two_copies, r.factor_vs_single_copy)
+            for r in sampled
+        ],
+    )
+    overlaps = np.array([r.overlap_ratio for r in rows])
+    reductions = np.array([r.reduction_vs_two_copies for r in rows])
+    factors = np.array([r.factor_vs_single_copy for r in rows])
+
+    # paper: overlap spans a wide range, from ~0.39 up to ~0.99
+    assert overlaps.min() < 0.5
+    assert overlaps.max() > 0.95
+    # paper: up to 1.98x memory reduction vs storing both versions fully
+    assert reductions.max() > 1.9
+    # paper: at the highest overlap the footprint is ~1.01x a single copy
+    best = factors[int(np.argmax(overlaps))]
+    assert best < 1.1
+    # memory saving co-varies with overlap: high-overlap steps cost less
+    hi = reductions[overlaps > 0.9].mean()
+    lo = reductions[overlaps < 0.5].mean()
+    assert hi > lo

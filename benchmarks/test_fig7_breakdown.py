@@ -1,0 +1,36 @@
+"""Fig 7: execution-time breakdown across the meshing routines (weak scaling).
+
+Paper anchors: Partition is 0% on 1 processor, ~19% at 6 processors, and
+grows to 56% at 1000 processors; refine/balance grow only logarithmically
+with the problem size.
+"""
+
+from repro.harness import experiments as E
+from repro.harness.report import print_table
+from repro.parallel.runtime import Backend
+
+
+def test_fig7_breakdown(benchmark, weak_scaling_runs):
+    runs = weak_scaling_runs[Backend.PM_OCTREE]
+    breakdowns = benchmark.pedantic(
+        lambda: [E.meshing_breakdown(r) for r in runs], rounds=1, iterations=1
+    )
+    rows = [
+        (p, *(f"{bd[k]:.1f}%" for k in ("construct", "refine", "balance",
+                                        "partition")))
+        for p, bd in zip(E.WEAK_POINTS, breakdowns)
+    ]
+    print_table(
+        "Fig 7: time-% breakdown across meshing routines (PM-octree)",
+        ["P", "construct", "refine", "balance", "partition"],
+        rows,
+    )
+    partitions = [bd["partition"] for bd in breakdowns]
+    # Partition: exactly 0 on one processor...
+    assert partitions[0] == 0.0
+    # ...then strictly present and growing toward large P
+    assert partitions[1] > 0.0
+    assert partitions[-1] > partitions[1]
+    assert max(partitions) == partitions[-1]
+    # refine no longer dominates at scale (it grows sublinearly)
+    assert breakdowns[-1]["refine"] < breakdowns[0]["refine"] + 60

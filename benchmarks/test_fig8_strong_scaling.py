@@ -1,0 +1,43 @@
+"""Fig 8: strong scaling of PM-octree at 150M elements, 240 -> 1000 ranks.
+
+Paper: (a) the speedup is close to ideal over this range; (b) the breakdown
+across routines shows no major fluctuation as P grows.
+"""
+
+from repro.harness import experiments as E
+from repro.harness.report import print_table
+from repro.parallel.runtime import Backend
+
+
+def test_fig8_strong_scaling(benchmark, strong_scaling_runs):
+    runs = benchmark.pedantic(
+        lambda: strong_scaling_runs[Backend.PM_OCTREE], rounds=1, iterations=1
+    )
+    base_p = E.STRONG_POINTS[0]
+    base_t = runs[0].makespan_s
+    rows = []
+    for p, r in zip(E.STRONG_POINTS, runs):
+        rows.append((p, r.makespan_s, base_t / r.makespan_s, p / base_p))
+    print_table(
+        "Fig 8a: strong scaling, 150M elements (PM-octree)",
+        ["P", "time (s)", "speedup", "ideal"],
+        rows,
+    )
+    bds = [E.meshing_breakdown(r) for r in runs]
+    print_table(
+        "Fig 8b: breakdown stability",
+        ["P", "construct%", "refine%", "balance%", "partition%"],
+        [
+            (p, bd["construct"], bd["refine"], bd["balance"], bd["partition"])
+            for p, bd in zip(E.STRONG_POINTS, bds)
+        ],
+    )
+    # (a) speedup within 25% of ideal at every point
+    for p, r in zip(E.STRONG_POINTS, runs):
+        speedup = base_t / r.makespan_s
+        ideal = p / base_p
+        assert speedup > 0.75 * ideal
+    # (b) no phase's share swings wildly with P
+    for key in ("refine", "balance"):
+        shares = [bd[key] for bd in bds]
+        assert max(shares) - min(shares) < 40.0

@@ -1,0 +1,38 @@
+"""Fig 9: strong scaling of the three implementations, 150M elements.
+
+Paper: all three decrease roughly linearly with P, and the in-core lead
+over PM-octree *shrinks* as ranks grow (48% faster at 240 ranks -> 36% at
+1000) because more of each rank's octants fit in its C0 DRAM.
+"""
+
+from repro.harness import experiments as E
+from repro.harness.report import print_table
+from repro.parallel.runtime import Backend
+
+
+def test_fig9_strong_compare(benchmark, strong_scaling_runs):
+    runs = benchmark.pedantic(
+        lambda: strong_scaling_runs, rounds=1, iterations=1
+    )
+    rows = []
+    for i, p in enumerate(E.STRONG_POINTS):
+        ic = runs[Backend.IN_CORE][i].makespan_s
+        pm = runs[Backend.PM_OCTREE][i].makespan_s
+        ooc = runs[Backend.OUT_OF_CORE][i].makespan_s
+        rows.append((p, ic, pm, ooc, f"{100 * (pm - ic) / ic:.0f}%"))
+    print_table(
+        "Fig 9: strong scaling, three implementations (150M elements)",
+        ["P", "in-core (s)", "PM-octree (s)", "out-of-core (s)",
+         "in-core lead"],
+        rows,
+    )
+    for backend in Backend:
+        times = [r.makespan_s for r in runs[backend]]
+        # time decreases monotonically with more processors
+        assert all(a > b for a, b in zip(times, times[1:]))
+    # ordering holds at every point: in-core <= PM << out-of-core
+    for i in range(len(E.STRONG_POINTS)):
+        assert runs[Backend.IN_CORE][i].makespan_s \
+            <= runs[Backend.PM_OCTREE][i].makespan_s
+        assert runs[Backend.PM_OCTREE][i].makespan_s \
+            < runs[Backend.OUT_OF_CORE][i].makespan_s

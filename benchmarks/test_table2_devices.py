@@ -1,0 +1,24 @@
+"""Table 2: characteristics of DRAM and NVBM as modelled.
+
+Paper: DRAM 60/60 ns r/w, endurance > 1e16; NVBM 100/150 ns r/w, endurance
+1e6-1e8 writes/bit (we model the midpoint 1e7).
+"""
+
+from repro.harness import experiments as E
+from repro.harness.report import print_table
+
+
+def test_table2_devices(benchmark):
+    rows = benchmark.pedantic(E.exp_table2, rounds=1, iterations=1)
+    print_table(
+        "Table 2: Characteristics of DRAM and NVBM",
+        ["Device", "Read (ns)", "Write (ns)", "Endurance (writes)"],
+        rows,
+    )
+    devices = {r[0]: r for r in rows}
+    assert devices["DRAM"][1:3] == (60.0, 60.0)
+    assert devices["NVBM"][1:3] == (100.0, 150.0)
+    # §1: NVBM write latency is 2.5x DRAM's
+    assert devices["NVBM"][2] / devices["DRAM"][2] == 2.5
+    assert devices["DRAM"][3] > 1e15
+    assert 1e6 <= devices["NVBM"][3] <= 1e8

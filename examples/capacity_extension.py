@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Memory-capacity extension: run a mesh far bigger than DRAM (§3's goal).
+
+Configures a DRAM arena that can hold only a small fraction of the octree;
+PM-octree's eviction merging and feature-directed transformation keep the
+hot (interface) subtrees resident while the bulk lives in NVBM.  Compare
+the NVBM write counts with the transformation on and off.
+
+Run:  python examples/capacity_extension.py
+"""
+
+from repro.config import DRAM_SPEC, NVBM_SPEC, PMOctreeConfig, SolverConfig
+from repro.core import pm_create
+from repro.nvbm.arena import MemoryArena
+from repro.nvbm.clock import Category, SimClock
+from repro.nvbm.pointers import ARENA_DRAM, ARENA_NVBM
+from repro.solver.simulation import DropletSimulation
+
+DRAM_BUDGET = 160  # octants of C0 — a fraction of the mesh
+STEPS = 25
+
+
+def run(transform: bool):
+    clock = SimClock()
+    dram = MemoryArena(ARENA_DRAM, DRAM_SPEC, clock, 4096)
+    nvbm = MemoryArena(ARENA_NVBM, NVBM_SPEC, clock, 1 << 19)
+    tree = pm_create(
+        dram, nvbm, dim=2,
+        config=PMOctreeConfig(dram_capacity_octants=DRAM_BUDGET),
+    )
+    solver = SolverConfig(dim=2, min_level=2, max_level=6, dt=0.01)
+    sim = DropletSimulation(
+        tree, solver, clock=clock,
+        persistence=lambda s: s.tree.persist(
+            transform=transform, keep_resident=True
+        ),
+    )
+    sim.run(STEPS)
+    return {
+        "octants": tree.num_octants(),
+        "c0": tree.c0_size(),
+        "nvbm_writes": nvbm.device.stats.writes,
+        "nvbm_time_ms": clock.category_ns(Category.MEM_NVBM) / 1e6,
+        "total_ms": clock.now_ns / 1e6,
+        "evictions": tree.stats.evictions,
+        "transformations": tree.stats.transformations,
+        "wear_headroom": nvbm.device.wear_headroom(),
+    }
+
+
+def main() -> None:
+    print(f"droplet simulation with a C0 budget of {DRAM_BUDGET} octants\n")
+    static = run(transform=False)
+    dynamic = run(transform=True)
+
+    print(f"mesh size: {dynamic['octants']} octants "
+          f"(~{dynamic['octants'] / DRAM_BUDGET:.1f}x the DRAM budget)")
+    print(f"C0 resident octants: {dynamic['c0']} "
+          f"(dynamic) vs {static['c0']} (static layout)\n")
+
+    def show(label, r):
+        print(f"{label:22s} NVBM writes={r['nvbm_writes']:6d}  "
+              f"NVBM time={r['nvbm_time_ms']:8.2f} ms  "
+              f"total={r['total_ms']:8.2f} ms  "
+              f"evictions={r['evictions']:3d}  "
+              f"transformations={r['transformations']}")
+
+    show("static layout:", static)
+    show("dynamic transformation:", dynamic)
+    saved = 100 * (static["nvbm_writes"] - dynamic["nvbm_writes"]) \
+        / max(1, static["nvbm_writes"])
+    print(f"\ndynamic transformation served {saved:.0f}% fewer writes from "
+          "NVBM (extending device lifetime accordingly;")
+    print(f"endurance headroom on the most-worn cell: "
+          f"{dynamic['wear_headroom'] * 100:.4f}% of budget remaining)")
+
+
+if __name__ == "__main__":
+    main()

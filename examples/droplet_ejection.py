@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Droplet ejection on PM-octree: the paper's driving workload (§5.1).
+
+Simulates a liquid jet leaving a nozzle, a capillary instability growing on
+it, pinch-off, and a droplet train — with the adaptive mesh persisted to
+NVBM every step and an ASCII rendering of the final two-phase field.
+
+Run:  python examples/droplet_ejection.py [steps]
+"""
+
+import sys
+
+from repro.config import DRAM_SPEC, NVBM_SPEC, PMOctreeConfig, SolverConfig
+from repro.core import pm_create
+from repro.nvbm.arena import MemoryArena
+from repro.nvbm.clock import SimClock
+from repro.nvbm.pointers import ARENA_DRAM, ARENA_NVBM
+from repro.octree import morton
+from repro.solver.fields import VOF, FieldView, count_droplets
+from repro.solver.simulation import DropletSimulation
+
+
+def render_ascii(tree, width: int = 48, height: int = 24) -> str:
+    """Coarse raster of the VOF field (X liquid, . mixed, space gas)."""
+    fields = FieldView(tree)
+    lines = []
+    for j in range(height - 1, -1, -1):
+        row = []
+        for i in range(width):
+            x = (i + 0.5) / width
+            y = (j + 0.5) / height
+            loc = tree_find(tree, (x, y))
+            vof = fields.get(loc, VOF)
+            row.append("X" if vof > 0.5 else ("." if vof > 0.05 else " "))
+        lines.append("|" + "".join(row) + "|")
+    return "\n".join(lines)
+
+
+def tree_find(tree, point):
+    """Point location through the protocol (works for any AdaptiveTree)."""
+    loc = morton.ROOT_LOC
+    dim = tree.dim
+    while not tree.is_leaf(loc):
+        level = morton.level_of(loc, dim)
+        coords = morton.coords_of(loc, dim)
+        idx = 0
+        for axis in range(dim):
+            mid = (2 * coords[axis] + 1) / (1 << (level + 1))
+            if point[axis] >= mid:
+                idx |= 1 << axis
+        loc = morton.child_of(loc, dim, idx)
+    return loc
+
+
+def main() -> None:
+    steps = int(sys.argv[1]) if len(sys.argv) > 1 else 80
+    clock = SimClock()
+    dram = MemoryArena(ARENA_DRAM, DRAM_SPEC, clock, 1 << 15)
+    nvbm = MemoryArena(ARENA_NVBM, NVBM_SPEC, clock, 1 << 19)
+    tree = pm_create(dram, nvbm, dim=2,
+                     config=PMOctreeConfig(dram_capacity_octants=1 << 15))
+    solver = SolverConfig(dim=2, min_level=2, max_level=6, dt=0.01)
+    sim = DropletSimulation(
+        tree, solver, clock=clock,
+        persistence=lambda s: (s.tree.persist(), s.tree.gc()),
+    )
+
+    print(f"running {steps} steps of droplet ejection on PM-octree ...")
+    for report in sim.run(steps):
+        if report.step % 10 == 0 or report.droplets != (
+            sim.history[-2].droplets if len(sim.history) > 1 else 0
+        ):
+            print(
+                f"  step {report.step:3d}  t={report.t:5.2f}  "
+                f"leaves={report.leaves:5d}  droplets={report.droplets}  "
+                f"overlap={report.overlap_ratio:.2f}"
+            )
+
+    final = sim.history[-1]
+    print(f"\nfinal state at t={final.t:.2f}: {final.droplets} liquid "
+          f"bodies, {final.leaves} leaves, "
+          f"{tree.memory_usage_octants()} octant records resident")
+    print(f"simulated execution time: {clock.now_s:.3f} s "
+          f"(persist: {clock.phase_ns('persist') / 1e9:.3f} s)")
+    print("\ntwo-phase field (X liquid / . interface / ' ' gas):")
+    print(render_ascii(tree))
+    print(f"\ndroplet count by connected components: {count_droplets(tree)}")
+
+
+if __name__ == "__main__":
+    main()

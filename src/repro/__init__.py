@@ -1,0 +1,51 @@
+"""PM-octree: persistent merged octrees on non-volatile byte-addressable memory.
+
+A reproduction of Nguyen, Tan & Zhang, *Large-Scale Adaptive Mesh
+Simulations Through Non-Volatile Byte-Addressable Memory* (SC '17).
+
+Public surface (see README.md for a tour):
+
+* :mod:`repro.core` — the PM-octree data structure and its Table-1 API
+  (``pm_create`` / ``pm_persistent`` / ``pm_restore`` / ``pm_delete``).
+* :mod:`repro.nvbm` — the NVBM substrate: simulated clock, latency/wear
+  device model, record arenas with crash semantics, failure injection.
+* :mod:`repro.octree` — technology-neutral meshing (Morton codes, 2:1
+  balancing, refinement engine, mesh extraction) over the
+  :class:`~repro.octree.store.AdaptiveTree` protocol.
+* :mod:`repro.baselines` — the in-core (Gerris-style) and out-of-core
+  (Etree-style) comparison octrees.
+* :mod:`repro.solver` — the droplet-ejection workload driving §5.
+* :mod:`repro.parallel` — the simulated cluster and scaling driver.
+* :mod:`repro.harness` — one experiment runner per table/figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro.config import (
+    DRAM_SPEC,
+    NVBM_SPEC,
+    PMOctreeConfig,
+    SolverConfig,
+)
+from repro.core import pm_create, pm_delete, pm_persistent, pm_restore
+from repro.core.pmoctree import PMOctree
+from repro.nvbm.arena import MemoryArena
+from repro.nvbm.clock import SimClock
+from repro.nvbm.pointers import ARENA_DRAM, ARENA_NVBM
+
+__all__ = [
+    "ARENA_DRAM",
+    "ARENA_NVBM",
+    "DRAM_SPEC",
+    "MemoryArena",
+    "NVBM_SPEC",
+    "PMOctree",
+    "PMOctreeConfig",
+    "SimClock",
+    "SolverConfig",
+    "__version__",
+    "pm_create",
+    "pm_delete",
+    "pm_persistent",
+    "pm_restore",
+]

@@ -1,0 +1,17 @@
+"""The paper's two comparison points (§5.1).
+
+* :class:`~repro.baselines.incore.InCoreOctree` — Gerris' existing design:
+  an ephemeral pointer octree entirely in DRAM, persisted by writing a
+  snapshot *file* through a filesystem every k time steps.  Fast meshing,
+  slow checkpoints, recovery = re-read the whole snapshot.
+* :class:`~repro.baselines.etree.EtreeOctree` — the out-of-core design: all
+  octants live in 4 KB pages on a block device behind a B-tree index keyed
+  by Morton Z-value.  Always durable, but every octant access pays index
+  descents and page-granular read-modify-writes, and 2:1 balancing has no
+  pointers to lean on.
+"""
+
+from repro.baselines.incore import InCoreOctree
+from repro.baselines.etree import EtreeOctree
+
+__all__ = ["EtreeOctree", "InCoreOctree"]

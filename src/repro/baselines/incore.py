@@ -1,0 +1,118 @@
+"""In-core baseline: Gerris' ephemeral octree + snapshot-file checkpoints.
+
+All octants live in DRAM; meshing is as fast as memory allows.  Data
+reliability comes from periodically serialising the whole tree into a
+snapshot file (``gfs_output_write``), and recovery reads it back
+(``gfs_simulation_read``) — full-tree I/O both ways, which is the cost
+PM-octree's §5.6 numbers are compared against.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List, Optional
+
+from repro.errors import RecoveryError
+from repro.nvbm.arena import MemoryArena
+from repro.octree import morton
+from repro.octree.store import Payload
+from repro.octree.tree import PointerOctree
+from repro.storage.filesystem import SimFileSystem
+
+#: Snapshot record: loc (Q), flags (B), 4 payload doubles.
+_SNAP = struct.Struct("<QB4d")
+_HEADER = struct.Struct("<4sBQ")
+_MAGIC = b"GFS1"
+
+
+class InCoreOctree(PointerOctree):
+    """Pointer octree in DRAM with file-based checkpoint/restore."""
+
+    def __init__(self, arena: MemoryArena, dim: int = 2, **kwargs):
+        if not arena.spec.volatile:
+            raise ValueError("the in-core baseline keeps its octree in DRAM")
+        super().__init__(arena, dim=dim, **kwargs)
+
+    # -- checkpointing -------------------------------------------------------
+
+    def checkpoint(self, fs: SimFileSystem, name: str) -> int:
+        """Serialise every octant into a snapshot file; returns bytes written."""
+        from repro.octree.traversal import preorder
+
+        chunks: List[bytes] = []
+        count = 0
+        for loc in preorder(self):
+            rec = self.get_record(loc)
+            chunks.append(_SNAP.pack(rec.loc, rec.flags, *rec.payload))
+            count += 1
+        blob = _HEADER.pack(_MAGIC, self.dim, count) + b"".join(chunks)
+        f = fs.create(name)
+        f.append(blob)
+        return len(blob)
+
+    @classmethod
+    def restore_from(cls, fs: SimFileSystem, name: str, arena: MemoryArena
+                     ) -> "InCoreOctree":
+        """Rebuild the tree from a snapshot file (the §5.6 recovery path)."""
+        try:
+            blob = fs.open(name).read_all()
+        except Exception as exc:
+            raise RecoveryError(f"cannot open snapshot {name!r}: {exc}") from exc
+        if len(blob) < _HEADER.size:
+            raise RecoveryError(f"snapshot {name!r} is truncated")
+        magic, dim, count = _HEADER.unpack_from(blob, 0)
+        if magic != _MAGIC:
+            raise RecoveryError(f"snapshot {name!r} has bad magic {magic!r}")
+        expected = _HEADER.size + count * _SNAP.size
+        if len(blob) < expected:
+            raise RecoveryError(
+                f"snapshot {name!r} is truncated: {len(blob)} < {expected}"
+            )
+        entries = []
+        off = _HEADER.size
+        for _ in range(count):
+            fields = _SNAP.unpack_from(blob, off)
+            off += _SNAP.size
+            entries.append((fields[0], fields[1], fields[2:6]))
+        tree = cls(arena, dim=dim)
+        # parents come before children in the preorder dump
+        from repro.nvbm.records import FLAG_LEAF
+
+        for loc, flags, payload in entries:
+            if loc != morton.ROOT_LOC and not tree.exists(loc):
+                raise RecoveryError(
+                    f"snapshot {name!r} lists orphan octant {loc:#x}"
+                )
+            if not (flags & FLAG_LEAF):
+                tree.refine(loc)
+            tree.set_payload(loc, payload)
+        return tree
+
+
+class CheckpointPolicy:
+    """"Save a snapshot every ``interval`` steps" (the paper uses 10)."""
+
+    def __init__(self, fs: SimFileSystem, interval: int = 10,
+                 basename: str = "snapshot"):
+        if interval < 1:
+            raise ValueError("interval must be >= 1")
+        self.fs = fs
+        self.interval = interval
+        self.basename = basename
+        self.last_step: Optional[int] = None
+
+    def file_for(self, step: int) -> str:
+        return f"{self.basename}.gfs"
+
+    def maybe_checkpoint(self, tree: InCoreOctree, step: int) -> int:
+        """Checkpoint when the step hits the cadence; returns bytes written."""
+        if step % self.interval != 0:
+            return 0
+        written = tree.checkpoint(self.fs, self.file_for(step))
+        self.last_step = step
+        return written
+
+    def latest(self) -> str:
+        if self.last_step is None:
+            raise RecoveryError("no checkpoint has been written yet")
+        return self.file_for(self.last_step)

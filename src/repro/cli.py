@@ -1,0 +1,235 @@
+"""Command-line interface: run the workloads and experiments from a shell.
+
+    python -m repro simulate --backend pm-octree --steps 50
+    python -m repro experiment fig10
+    python -m repro recover
+    python -m repro export-vtk --out mesh.vtk --steps 40
+    python -m repro list
+
+Every command prints the same tables the benchmark suite asserts on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.harness import experiments as E
+from repro.harness.report import print_table
+from repro.parallel.runtime import Backend
+
+#: experiment name -> (runner, short description)
+EXPERIMENTS = {
+    "table2": (E.exp_table2, "Table 2: device characteristics"),
+    "fig3": (E.exp_fig3, "Fig 3: overlap ratio & memory per 1000 octants"),
+    "fig5": (E.exp_fig5, "Fig 5: locality-oblivious vs aware layout"),
+    "fig6": (E.exp_weak_scaling, "Fig 6/7: weak scaling + breakdown"),
+    "fig8": (E.exp_strong_scaling, "Fig 8/9: strong scaling"),
+    "fig10": (E.exp_fig10, "Fig 10: DRAM size for the C0 tree"),
+    "fig11": (E.exp_fig11, "Fig 11: dynamic transformation"),
+    "recovery": (E.exp_recovery, "§5.6: failure recovery"),
+    "write-intensity": (E.exp_write_intensity, "§1: write intensity"),
+    "ablation": (E.exp_ablation_sampling, "sampling-policy ablation"),
+}
+
+
+def _cmd_list(_args) -> int:
+    print_table(
+        "available experiments",
+        ["name", "description"],
+        [(name, desc) for name, (_fn, desc) in sorted(EXPERIMENTS.items())],
+    )
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    try:
+        fn, desc = EXPERIMENTS[args.name]
+    except KeyError:
+        print(f"unknown experiment {args.name!r}; try `python -m repro list`",
+              file=sys.stderr)
+        return 2
+    print(f"running {desc} ...")
+    result = fn()
+    _render_result(args.name, result)
+    return 0
+
+
+def _render_result(name: str, result) -> None:
+    if name == "table2":
+        print_table("Table 2", ["device", "read ns", "write ns", "endurance"],
+                    result)
+    elif name == "fig3":
+        rows = result[:: max(1, len(result) // 15)]
+        print_table(
+            "Fig 3", ["step", "overlap", "octants", "KB/1000"],
+            [(r.step, r.overlap_ratio, r.octants, r.kb_per_1000_octants)
+             for r in rows],
+        )
+    elif name == "fig5":
+        print_table("Fig 5", ["layout", "NVBM writes"], [
+            ("oblivious", result.writes_oblivious),
+            ("aware", result.writes_aware),
+            ("% more", f"{result.pct_more_writes:.0f}%"),
+        ])
+    elif name in ("fig6", "fig8"):
+        points = E.WEAK_POINTS if name == "fig6" else E.STRONG_POINTS
+        rows = []
+        for i, p in enumerate(points):
+            rows.append([p] + [
+                result[b][i].makespan_s for b in result
+            ])
+        print_table(
+            "execution time (simulated s)",
+            ["P"] + [b.value for b in result],
+            rows,
+        )
+    elif name == "fig10":
+        print_table("Fig 10", ["configuration", "budget", "time (s)", "merges"],
+                    [(r.label, r.dram_budget_octants, r.makespan_s, r.merges)
+                     for r in result])
+    elif name == "fig11":
+        print_table(
+            "Fig 11",
+            ["elements", "w/o (s)", "w/ (s)", "time cut", "write cut"],
+            [(f"{r.target_elements:.3g}", r.time_without_s, r.time_with_s,
+              f"{r.time_reduction_pct:.1f}%", f"{r.write_reduction_pct:.1f}%")
+             for r in result],
+        )
+    elif name == "recovery":
+        print_table("§5.6", ["implementation", "same node (s)", "new node (s)"], [
+            ("in-core", result.incore_same_node_s, result.incore_new_node_s),
+            ("PM-octree", result.pm_same_node_s, result.pm_new_node_s),
+            ("out-of-core", result.ooc_same_node_s, "unrecoverable"),
+        ])
+    elif name == "write-intensity":
+        print_table("§1", ["metric", "value"], [
+            ("avg write %", f"{result.avg_pct:.1f}"),
+            ("max write %", f"{result.max_pct:.1f}"),
+        ])
+    elif name == "ablation":
+        print_table("ablation", ["policy", "NVBM writes", "time (s)"],
+                    [(r.policy, r.nvbm_writes, r.makespan_s) for r in result])
+
+
+def _make_tree(backend: Backend, max_level: int):
+    from repro.config import (
+        DRAM_SPEC, NVBM_FS_SPEC, NVBM_SPEC, PMOctreeConfig,
+    )
+    from repro.nvbm.arena import MemoryArena
+    from repro.nvbm.clock import SimClock
+    from repro.nvbm.pointers import ARENA_DRAM, ARENA_NVBM
+    from repro.storage.block import BlockDevice
+    from repro.storage.filesystem import SimFileSystem
+
+    clock = SimClock()
+    if backend is Backend.PM_OCTREE:
+        from repro.core import pm_create
+
+        dram = MemoryArena(ARENA_DRAM, DRAM_SPEC, clock, 1 << 16)
+        nvbm = MemoryArena(ARENA_NVBM, NVBM_SPEC, clock, 1 << 20)
+        tree = pm_create(dram, nvbm, dim=2,
+                         config=PMOctreeConfig(dram_capacity_octants=1 << 16))
+        persistence = lambda sim: tree.persist()
+    elif backend is Backend.IN_CORE:
+        from repro.baselines.incore import CheckpointPolicy, InCoreOctree
+
+        dram = MemoryArena(ARENA_DRAM, DRAM_SPEC, clock, 1 << 18)
+        fs = SimFileSystem(BlockDevice(NVBM_FS_SPEC, clock))
+        tree = InCoreOctree(dram, dim=2)
+        policy = CheckpointPolicy(fs)
+        persistence = lambda sim: policy.maybe_checkpoint(tree, sim.step_count)
+    else:
+        from repro.baselines.etree import EtreeOctree
+
+        tree = EtreeOctree(BlockDevice(NVBM_FS_SPEC, clock), dim=2)
+        persistence = None
+    return clock, tree, persistence
+
+
+def _cmd_simulate(args) -> int:
+    from repro.config import SolverConfig
+    from repro.solver.simulation import DropletSimulation
+
+    backend = Backend(args.backend)
+    clock, tree, persistence = _make_tree(backend, args.max_level)
+    solver = SolverConfig(dim=2, min_level=2, max_level=args.max_level,
+                          dt=0.01)
+    sim = DropletSimulation(tree, solver, clock=clock,
+                            persistence=persistence)
+    reports = sim.run(args.steps)
+    rows = [
+        (r.step, f"{r.t:.2f}", r.leaves, r.droplets)
+        for r in reports[:: max(1, len(reports) // 12)]
+    ]
+    print_table(f"droplet ejection on {backend.value}",
+                ["step", "t", "leaves", "droplets"], rows)
+    print(f"\nsimulated execution time: {clock.now_s:.4f} s")
+    return 0
+
+
+def _cmd_recover(_args) -> int:
+    res = E.exp_recovery()
+    _render_result("recovery", res)
+    return 0
+
+
+def _cmd_export_vtk(args) -> int:
+    from repro.config import SolverConfig
+    from repro.octree.vtkout import tree_to_vtk
+    from repro.solver.simulation import DropletSimulation
+
+    clock, tree, persistence = _make_tree(Backend.PM_OCTREE, args.max_level)
+    solver = SolverConfig(dim=2, min_level=2, max_level=args.max_level,
+                          dt=0.01)
+    sim = DropletSimulation(tree, solver, clock=clock,
+                            persistence=persistence)
+    sim.run(args.steps)
+    vtk = tree_to_vtk(tree, payload_slot=0, field_name="vof",
+                      title=f"droplet ejection t={sim.t:.2f}")
+    with open(args.out, "w") as fh:
+        fh.write(vtk)
+    print(f"wrote {args.out}: {tree.num_leaves()} cells at t={sim.t:.2f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PM-octree (SC'17) reproduction command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments") \
+        .set_defaults(func=_cmd_list)
+
+    p = sub.add_parser("experiment", help="run one experiment by name")
+    p.add_argument("name", help="e.g. fig10 (see `list`)")
+    p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser("simulate", help="run the droplet workload")
+    p.add_argument("--backend", default="pm-octree",
+                   choices=[b.value for b in Backend])
+    p.add_argument("--steps", type=int, default=50)
+    p.add_argument("--max-level", type=int, default=6)
+    p.set_defaults(func=_cmd_simulate)
+
+    sub.add_parser("recover", help="run the §5.6 recovery comparison") \
+        .set_defaults(func=_cmd_recover)
+
+    p = sub.add_parser("export-vtk", help="simulate and write a VTK mesh")
+    p.add_argument("--out", default="mesh.vtk")
+    p.add_argument("--steps", type=int, default=40)
+    p.add_argument("--max-level", type=int, default=6)
+    p.set_defaults(func=_cmd_export_vtk)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""PM-octree: the paper's contribution (§3).
+
+A persistent merged octree keeps two versions: ``V_{i-1}``, the last
+consistent tree, entirely in NVBM; and ``V_i``, the working tree, split into
+a hot DRAM-resident part ``C0`` and a cold NVBM part ``C1``.  Unchanged
+octants are shared between versions; mutations of shared octants go through
+copy-on-write; the persist point is a single atomic root-slot update, so no
+per-store fencing is needed.  Failure recovery is "mark V_i-only octants
+deleted and return ADDR(V_{i-1})" — near-instantaneous compared to re-reading
+a snapshot file.
+"""
+
+from repro.core.pmoctree import C0Stats, PMOctree, PMStats
+from repro.core.api import pm_create, pm_delete, pm_persistent, pm_restore
+from repro.core.gc import GCResult, mark_and_sweep
+from repro.core.transform import TransformationResult, detect_and_transform
+from repro.core.replication import ReplicaStore
+
+__all__ = [
+    "C0Stats",
+    "GCResult",
+    "PMOctree",
+    "PMStats",
+    "ReplicaStore",
+    "TransformationResult",
+    "detect_and_transform",
+    "mark_and_sweep",
+    "pm_create",
+    "pm_delete",
+    "pm_persistent",
+    "pm_restore",
+]

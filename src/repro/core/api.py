@@ -1,0 +1,58 @@
+"""The Table-1 programming interface: orthogonal persistence for octrees.
+
+Users of the library never manage NVBM allocations or persistent pointers;
+they call four routines, mirroring how Gerris applications call
+``gfs_output_write``/``gfs_output_read`` on snapshot files:
+
+========================  ====================================================
+``pm_create``             create a new PM-octree; returns the working tree
+``pm_persistent``         create a persistent version of the octree
+``pm_restore``            restore a PM-octree after a failure
+``pm_delete``             delete all octants on NVBM and DRAM
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import PMOctreeConfig
+from repro.nvbm.arena import MemoryArena
+from repro.nvbm.failure import FailureInjector
+from repro.core.pmoctree import PMOctree
+from repro.core.recovery import attach_and_restore
+from repro.octree.store import Payload, ZERO_PAYLOAD
+
+
+def pm_create(dram: MemoryArena, nvbm: MemoryArena, dim: int = 2,
+              config: Optional[PMOctreeConfig] = None,
+              injector: Optional[FailureInjector] = None,
+              root_payload: Payload = ZERO_PAYLOAD) -> PMOctree:
+    """Create a new PM-octree rooted at a single leaf; returns ``V_i``."""
+    return PMOctree(dram, nvbm, dim=dim, config=config, injector=injector,
+                    root_payload=root_payload)
+
+
+def pm_persistent(tree: PMOctree, transform: bool = True) -> int:
+    """Create a persistent version of the octree (the §3.2 persist point).
+
+    Returns the handle of the new persistent root.
+    """
+    return tree.persist(transform=transform)
+
+
+def pm_restore(dram: MemoryArena, nvbm: MemoryArena, dim: int = 2,
+               config: Optional[PMOctreeConfig] = None,
+               injector: Optional[FailureInjector] = None) -> PMOctree:
+    """Restore a PM-octree from the NVBM arena's persistent version.
+
+    Use after a crash/restart on the same node: the NVBM arena object is the
+    surviving device; DRAM contents are assumed lost.
+    """
+    return attach_and_restore(dram, nvbm, dim=dim, config=config,
+                              injector=injector)
+
+
+def pm_delete(tree: PMOctree) -> None:
+    """Delete all octants on NVBM and DRAM and clear the persistent roots."""
+    tree.delete_all()

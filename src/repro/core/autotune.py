@@ -1,0 +1,121 @@
+"""Automatic C0 DRAM-budget tuning (the paper's §6 future work).
+
+    "As future work, we plan to automate the setting of DRAM size for the
+    C0 tree in order to provide better memory efficiency under high
+    concurrency."
+
+The controller watches, at each persist point, how PM-octree is using its
+budget and adjusts ``dram_capacity_octants`` within an allowed band:
+
+* **grow** when the budget is the bottleneck — eviction merges fired, or
+  the transformation could not fit a hot subtree (hot spill), and NVBM
+  writes per step are high;
+* **shrink** when C0 is underutilised (resident set well below budget) so
+  the DRAM goes back to the pool other ranks on the node draw from — the
+  "high concurrency" motivation;
+* otherwise hold.
+
+Classic additive-increase / multiplicative-decrease keeps it stable: growth
+is a fixed step, shrink is proportional, and both are clamped to
+``[min_budget, max_budget]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.pmoctree import PMOctree
+
+
+@dataclass
+class TuneDecision:
+    """One observation step's outcome."""
+
+    step: int
+    budget_before: int
+    budget_after: int
+    evictions_delta: int
+    nvbm_writes_delta: int
+    c0_size: int
+    action: str  # "grow" | "shrink" | "hold"
+
+
+@dataclass
+class C0AutoTuner:
+    """AIMD controller over the C0 budget.
+
+    Attach one per PM-octree and call :meth:`observe` right after each
+    persist; the tuner rewrites ``pmo.config`` with the new budget.
+    """
+
+    min_budget: int = 32
+    max_budget: int = 1 << 20
+    grow_step: int = 64          #: additive increase (octants)
+    shrink_factor: float = 0.75  #: multiplicative decrease
+    #: shrink when the resident set uses less than this fraction of budget
+    low_watermark: float = 0.5
+    history: List[TuneDecision] = field(default_factory=list)
+    _last_evictions: int = 0
+    _last_nvbm_writes: int = 0
+    _steps: int = 0
+
+    def observe(self, pmo: "PMOctree") -> TuneDecision:
+        """Inspect the last step's behaviour and retune the budget."""
+        self._steps += 1
+        evictions = pmo.stats.evictions
+        nvbm_writes = pmo.nvbm.device.stats.writes
+        d_evict = evictions - self._last_evictions
+        d_writes = nvbm_writes - self._last_nvbm_writes
+        self._last_evictions = evictions
+        self._last_nvbm_writes = nvbm_writes
+
+        budget = pmo.config.dram_capacity_octants
+        c0 = pmo.dram.used
+        max_allowed = min(self.max_budget, pmo.dram.capacity)
+
+        if d_evict > 0 and budget < max_allowed:
+            # the budget forced merges out: give C0 more room
+            new_budget = min(max_allowed, budget + self.grow_step)
+            action = "grow"
+        elif d_evict == 0 and c0 < self.low_watermark * budget \
+                and budget > self.min_budget:
+            # plenty of slack: hand DRAM back to the node's pool
+            new_budget = max(
+                self.min_budget, c0 + self.grow_step,
+                int(budget * self.shrink_factor),
+            )
+            new_budget = min(new_budget, budget)  # never grow on this path
+            action = "shrink" if new_budget < budget else "hold"
+        else:
+            new_budget = budget
+            action = "hold"
+
+        if new_budget != budget:
+            pmo.config = replace(pmo.config, dram_capacity_octants=new_budget)
+        decision = TuneDecision(
+            step=self._steps,
+            budget_before=budget,
+            budget_after=new_budget,
+            evictions_delta=d_evict,
+            nvbm_writes_delta=d_writes,
+            c0_size=c0,
+            action=action,
+        )
+        self.history.append(decision)
+        return decision
+
+    @property
+    def current_budget(self) -> Optional[int]:
+        return self.history[-1].budget_after if self.history else None
+
+
+def autotuned_persistence(tuner: C0AutoTuner, transform: bool = True):
+    """A DropletSimulation persistence hook that persists, then retunes."""
+
+    def hook(sim) -> None:
+        sim.tree.persist(transform=transform, keep_resident=True)
+        tuner.observe(sim.tree)
+
+    return hook

@@ -1,0 +1,78 @@
+"""Mark-and-sweep garbage collection over the NVBM arena (§3.2).
+
+Deletion never frees NVBM slots directly — octants are only marked — so the
+arena fills with superseded COW originals, coarsened children and records
+orphaned by crashes (allocated but torn/never flushed).  GC reclaims
+everything not reachable from the live roots:
+
+* the persistent root ``V_{i-1}``,
+* the working version (its NVBM handles in the index — this also covers the
+  current root when it is a DRAM handle),
+* the NVBM origins of DRAM-resident C0 octants (still needed as sharing
+  targets at the next merge).
+
+GC must not run during a merge (the structure is mid-flight); the paper
+disables it there and so do we (:class:`repro.errors.GCDisabledError` is
+raised by :meth:`repro.core.pmoctree.PMOctree.gc`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Set
+
+from repro.nvbm.pointers import NULL_HANDLE, is_nvbm
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.pmoctree import PMOctree
+
+from repro.core.pmoctree import SLOT_CURR, SLOT_PREV
+
+
+@dataclass
+class GCResult:
+    """Outcome of one collection."""
+
+    marked: int
+    swept: int
+
+    @property
+    def reclaimed(self) -> int:
+        return self.swept
+
+
+def _mark(pmo: "PMOctree") -> Set[int]:
+    """BFS over NVBM records from all live roots."""
+    roots = []
+    for slot in (SLOT_PREV, SLOT_CURR):
+        h = pmo.nvbm.roots.get(slot)
+        if h != NULL_HANDLE and is_nvbm(h):
+            roots.append(h)
+    roots.extend(h for h in pmo._index.values() if is_nvbm(h))
+    roots.extend(h for h in pmo._origin.values() if is_nvbm(h))
+
+    seen: Set[int] = set()
+    stack = [h for h in roots if pmo.nvbm.contains(h)]
+    while stack:
+        h = stack.pop()
+        if h in seen:
+            continue
+        seen.add(h)
+        rec = pmo.nvbm.read_octant(h)
+        for ch in rec.live_children():
+            if is_nvbm(ch) and ch not in seen and pmo.nvbm.contains(ch):
+                stack.append(ch)
+    return seen
+
+
+def mark_and_sweep(pmo: "PMOctree") -> GCResult:
+    """Free every NVBM record unreachable from the live roots."""
+    marked = _mark(pmo)
+    swept = 0
+    for h in list(pmo.nvbm.live_handles()):
+        if h not in marked:
+            pmo.nvbm.free(h)
+            swept += 1
+    pmo.stats.gc_runs += 1
+    pmo.stats.octants_reclaimed += swept
+    return GCResult(marked=len(marked), swept=swept)

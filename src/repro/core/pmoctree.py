@@ -1,0 +1,643 @@
+"""The PM-octree data structure.
+
+Placement invariants (all checkable, see ``tests/core/test_invariants.py``):
+
+I1. Octants of the working version ``V_i`` live either in a DRAM arena (the
+    C0 sub-forest) or in an NVBM arena (C1); an octant is in DRAM iff one of
+    its ancestors-or-self is a registered C0 subtree root, and C0 subtrees
+    are *entirely* DRAM-resident.
+I2. Every record reachable from the persistent root ``V_{i-1}`` is an NVBM
+    record with ``epoch < current_epoch`` that has been flushed, and is
+    never written in place.  (This is what makes recovery safe without
+    per-store fences.)
+I3. An NVBM record with ``epoch == current_epoch`` is reachable only from
+    ``V_i`` and may be updated in place.
+I4. Mutating a shared (I2) octant copies it — and its ancestor path up to
+    the nearest in-place-writable octant — into fresh current-epoch records
+    (Fig 4's propagation).
+
+Versions share all octants that did not change since the last persist point,
+which is where Fig 3's memory saving comes from.
+
+Volatile acceleration structures (``_index``, ``_leaf_set``, C0 bookkeeping)
+are rebuilt from records on recovery; correctness never depends on them
+surviving a crash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.config import PMOctreeConfig
+from repro.errors import (
+    ConsistencyError,
+    GCDisabledError,
+    OutOfMemoryError,
+    RecoveryError,
+    ReproError,
+)
+from repro.nvbm.arena import MemoryArena
+from repro.nvbm.failure import FailureInjector
+from repro.nvbm.pointers import NULL_HANDLE, is_dram, is_nvbm
+from repro.nvbm.records import OctantRecord
+from repro.octree import morton
+from repro.octree.store import Payload, ZERO_PAYLOAD
+
+#: Root-slot names in the NVBM arena.
+SLOT_PREV = "V_prev"
+SLOT_CURR = "V_curr"
+
+FeatureFn = Callable[[int, Payload], bool]
+
+
+@dataclass
+class C0Stats:
+    """Per-C0-subtree bookkeeping for the eviction/transformation policies."""
+
+    size: int = 0          #: octants currently in this DRAM subtree
+    accesses: int = 0      #: operations routed into it (LFU eviction key)
+
+
+@dataclass
+class PMStats:
+    """Counters the evaluation section reports on."""
+
+    cow_copies: int = 0
+    inplace_updates: int = 0
+    evictions: int = 0
+    merges: int = 0
+    persists: int = 0
+    transformations: int = 0
+    gc_runs: int = 0
+    octants_reclaimed: int = 0
+    marked_deleted: int = 0
+
+
+class PMOctree:
+    """Persistent merged octree over one DRAM and one NVBM arena.
+
+    Implements the :class:`repro.octree.store.AdaptiveTree` protocol, so all
+    meshing routines (balance, refinement engine, mesh extraction, solver)
+    run on it unchanged.
+    """
+
+    def __init__(self, dram: MemoryArena, nvbm: MemoryArena, dim: int = 2,
+                 config: Optional[PMOctreeConfig] = None,
+                 injector: Optional[FailureInjector] = None,
+                 root_payload: Payload = ZERO_PAYLOAD):
+        if dim not in (2, 3):
+            raise ValueError(f"only dim 2 and 3 supported, got {dim}")
+        self.dram = dram
+        self.nvbm = nvbm
+        self.dim = dim
+        self.config = config or PMOctreeConfig()
+        self.injector = injector or FailureInjector()
+        self.stats = PMStats()
+        self.epoch = 1
+        self.merging = False
+        self.features: List[FeatureFn] = []
+        #: attached remote replica (§3.4's V^P), shipped to at every persist
+        self.replica = None
+        self.on_replica_ship: Optional[Callable[[int], None]] = None
+
+        # volatile acceleration state (rebuilt by recovery)
+        self._index: Dict[int, int] = {}
+        self._leaf_set: Set[int] = set()
+        self._c0_roots: Dict[int, C0Stats] = {}
+        self._origin: Dict[int, int] = {}
+        self._dirty: Set[int] = set()
+        self._superseded: List[int] = []
+
+        # The initial tree is a single root leaf in DRAM (the whole tree is
+        # C0 until pressure or a persist pushes octants to NVBM).
+        root = OctantRecord(loc=morton.ROOT_LOC, level=0, epoch=self.epoch,
+                            payload=root_payload)
+        h = self.dram.new_octant(root)
+        self._index[morton.ROOT_LOC] = h
+        self._leaf_set.add(morton.ROOT_LOC)
+        self._c0_roots[morton.ROOT_LOC] = C0Stats(size=1)
+        self.nvbm.roots.set(SLOT_PREV, NULL_HANDLE)
+        self.nvbm.roots.set(SLOT_CURR, h)
+
+    # ------------------------------------------------------------------ protocol
+
+    def root_loc(self) -> int:
+        return morton.ROOT_LOC
+
+    def exists(self, loc: int) -> bool:
+        return loc in self._index
+
+    def is_leaf(self, loc: int) -> bool:
+        return loc in self._leaf_set
+
+    def leaves(self) -> Iterator[int]:
+        return iter(list(self._leaf_set))
+
+    def num_octants(self) -> int:
+        return len(self._index)
+
+    def num_leaves(self) -> int:
+        return len(self._leaf_set)
+
+    def handle_of(self, loc: int) -> int:
+        try:
+            return self._index[loc]
+        except KeyError:
+            raise ReproError(f"octant {loc:#x} not in PM-octree") from None
+
+    def _arena_of(self, handle: int) -> MemoryArena:
+        return self.dram if is_dram(handle) else self.nvbm
+
+    def get_payload(self, loc: int) -> Payload:
+        handle = self.handle_of(loc)
+        self._touch_c0(loc, handle)
+        return self._arena_of(handle).read_octant(handle).payload
+
+    def set_payload(self, loc: int, payload: Payload) -> None:
+        handle = self.handle_of(loc)
+        self._touch_c0(loc, handle)
+        if is_dram(handle):
+            rec = self.dram.read_octant(handle)
+            rec.payload = tuple(payload)
+            self.dram.write_octant(handle, rec)
+            self._dirty.add(loc)
+            self.stats.inplace_updates += 1
+            return
+        handle = self._ensure_writable(loc)
+        rec = self.nvbm.read_octant(handle)
+        rec.payload = tuple(payload)
+        self.nvbm.write_octant(handle, rec)
+
+    def get_record(self, loc: int) -> OctantRecord:
+        handle = self.handle_of(loc)
+        return self._arena_of(handle).read_octant(handle)
+
+    def find_leaf_at(self, point) -> int:
+        """Leaf containing a point of the unit cube (point location)."""
+        if len(point) != self.dim:
+            raise ValueError(f"point must have {self.dim} coordinates")
+        loc = morton.ROOT_LOC
+        while loc not in self._leaf_set:
+            level = morton.level_of(loc, self.dim)
+            coords = morton.coords_of(loc, self.dim)
+            idx = 0
+            for axis in range(self.dim):
+                mid = (2 * coords[axis] + 1) / (1 << (level + 1))
+                if point[axis] >= mid:
+                    idx |= 1 << axis
+            loc = morton.child_of(loc, self.dim, idx)
+        return loc
+
+    # ------------------------------------------------------------- refine/coarsen
+
+    def refine(self, loc: int) -> List[int]:
+        """Split a leaf; children are placed with their parent (§3.2 routing:
+        an octant goes to C0 or C1 "determined by its locational code")."""
+        if loc not in self._leaf_set:
+            raise ReproError(f"cannot refine non-leaf {loc:#x}")
+        handle = self.handle_of(loc)
+        self._touch_c0(loc, handle)
+        if is_dram(handle):
+            return self._refine_dram(loc, handle)
+        return self._refine_nvbm(loc)
+
+    def _refine_dram(self, loc: int, handle: int) -> List[int]:
+        fanout = morton.fanout(self.dim)
+        if not self._ensure_dram_capacity(fanout, protect=loc):
+            # C0 cannot grow: this very subtree was evicted to NVBM.
+            return self._refine_nvbm(loc)
+        rec = self.dram.read_octant(handle)
+        child_locs = morton.children_of(loc, self.dim)
+        for i, cloc in enumerate(child_locs):
+            ch = self.dram.new_octant(OctantRecord(
+                loc=cloc, level=rec.level + 1, epoch=self.epoch,
+                payload=tuple(rec.payload), parent=handle,
+            ))
+            rec.children[i] = ch
+            self._index[cloc] = ch
+            self._leaf_set.add(cloc)
+        rec.set_leaf(False)
+        self.dram.write_octant(handle, rec)
+        self._leaf_set.discard(loc)
+        self._dirty.add(loc)
+        croot = self._c0_root_of(loc)
+        if croot is not None:
+            self._c0_roots[croot].size += fanout
+        self.stats.inplace_updates += 1
+        return child_locs
+
+    def _refine_nvbm(self, loc: int) -> List[int]:
+        handle = self._ensure_writable(loc)
+        rec = self.nvbm.read_octant(handle)
+        child_locs = morton.children_of(loc, self.dim)
+        for i, cloc in enumerate(child_locs):
+            ch = self.nvbm.new_octant(OctantRecord(
+                loc=cloc, level=rec.level + 1, epoch=self.epoch,
+                payload=tuple(rec.payload), parent=handle,
+            ))
+            rec.children[i] = ch
+            self._index[cloc] = ch
+            self._leaf_set.add(cloc)
+        rec.set_leaf(False)
+        self.nvbm.write_octant(handle, rec)
+        self._leaf_set.discard(loc)
+        return child_locs
+
+    def coarsen(self, loc: int) -> None:
+        """Remove the leaf children of ``loc`` from the working version.
+
+        Shared children stay in NVBM untouched (V_{i-1} still references
+        them); unshared NVBM children are only *marked* deleted — GC reclaims
+        the slots later (§3.2's deferred deletion); DRAM children are freed
+        immediately ("we can directly delete an octant in C0").
+        """
+        if loc in self._leaf_set:
+            raise ReproError(f"cannot coarsen a leaf {loc:#x}")
+        if loc not in self._index:
+            raise ReproError(f"octant {loc:#x} not in PM-octree")
+        child_locs = morton.children_of(loc, self.dim)
+        for cloc in child_locs:
+            if cloc not in self._leaf_set:
+                raise ReproError(
+                    f"cannot coarsen {loc:#x}: child {cloc:#x} is not a leaf"
+                )
+        handle = self.handle_of(loc)
+        self._touch_c0(loc, handle)
+        if is_dram(handle):
+            rec = self.dram.read_octant(handle)
+            for i, cloc in enumerate(child_locs):
+                self.dram.free(self._index.pop(cloc))
+                self._leaf_set.discard(cloc)
+                self._origin.pop(cloc, None)
+                self._dirty.discard(cloc)
+                rec.children[i] = NULL_HANDLE
+            rec.set_leaf(True)
+            self.dram.write_octant(handle, rec)
+            self._dirty.add(loc)
+            croot = self._c0_root_of(loc)
+            if croot is not None:
+                self._c0_roots[croot].size -= len(child_locs)
+            self._leaf_set.add(loc)
+            return
+        handle = self._ensure_writable(loc)
+        rec = self.nvbm.read_octant(handle)
+        for i, cloc in enumerate(child_locs):
+            ch = self._index.pop(cloc)
+            self._leaf_set.discard(cloc)
+            rec.children[i] = NULL_HANDLE
+            crec = self.nvbm.read_octant(ch)
+            if crec.epoch == self.epoch:
+                crec.set_deleted(True)
+                self.nvbm.write_octant(ch, crec)
+                self.stats.marked_deleted += 1
+        rec.set_leaf(True)
+        self.nvbm.write_octant(handle, rec)
+        self._leaf_set.add(loc)
+
+    # --------------------------------------------------------------- COW machinery
+
+    def _path_to(self, loc: int) -> List[int]:
+        """Locational codes root -> loc."""
+        path = [loc]
+        while loc != morton.ROOT_LOC:
+            loc = morton.parent_of(loc, self.dim)
+            path.append(loc)
+        path.reverse()
+        return path
+
+    def _is_writable(self, handle: int) -> bool:
+        """In-place writable: DRAM, or an NVBM record of the current epoch."""
+        if is_dram(handle):
+            return True
+        return self.nvbm.read_octant(handle).epoch == self.epoch
+
+    def _ensure_writable(self, loc: int) -> int:
+        """Make the NVBM octant at ``loc`` in-place writable, copying the
+        shared suffix of its root path (Fig 4).  Returns its handle."""
+        handle = self._index[loc]
+        if is_dram(handle):
+            raise ConsistencyError(f"{loc:#x} is in DRAM; COW is for NVBM octants")
+        if self.nvbm.read_octant(handle).epoch == self.epoch:
+            return handle
+        path = self._path_to(loc)
+        # deepest ancestor that is already writable
+        first_shared = 0
+        for i in range(len(path) - 1, -1, -1):
+            h = self._index[path[i]]
+            if i < len(path) - 1 and self._is_writable(h):
+                first_shared = i + 1
+                break
+        else:
+            first_shared = 0
+        new_handle = NULL_HANDLE
+        for i in range(first_shared, len(path)):
+            ploc = path[i]
+            old = self._index[ploc]
+            rec = self.nvbm.read_octant(old)
+            rec.epoch = self.epoch
+            if i > first_shared:
+                rec.parent = self._index[path[i - 1]]
+            new = self.nvbm.new_octant(rec)
+            self.stats.cow_copies += 1
+            self._superseded.append(old)
+            self._index[ploc] = new
+            self.injector.site("cow.after_copy")
+            # hook the copy into its parent
+            if i == first_shared:
+                if ploc == morton.ROOT_LOC:
+                    self.nvbm.roots.set(SLOT_CURR, new)
+                else:
+                    parent_loc = path[i - 1]
+                    ph = self._index[parent_loc]
+                    parena = self._arena_of(ph)
+                    prec = parena.read_octant(ph)
+                    prec.children[morton.child_index_of(ploc, self.dim)] = new
+                    parena.write_octant(ph, prec)
+                    if is_dram(ph):
+                        self._dirty.add(parent_loc)
+            else:
+                # parent is the copy we just made in the previous iteration:
+                # fix its child slot in place (it is current-epoch).
+                ph = self._index[path[i - 1]]
+                prec = self.nvbm.read_octant(ph)
+                prec.children[morton.child_index_of(ploc, self.dim)] = new
+                self.nvbm.write_octant(ph, prec)
+            new_handle = new
+        return new_handle
+
+    # --------------------------------------------------------------- C0 management
+
+    def _c0_root_of(self, loc: int) -> Optional[int]:
+        """The registered C0 subtree root covering ``loc``, if any."""
+        walk = loc
+        while True:
+            if walk in self._c0_roots:
+                return walk
+            if walk == morton.ROOT_LOC:
+                return None
+            walk = morton.parent_of(walk, self.dim)
+
+    def _touch_c0(self, loc: int, handle: int) -> None:
+        if is_dram(handle):
+            croot = self._c0_root_of(loc)
+            if croot is not None:
+                self._c0_roots[croot].accesses += 1
+
+    def dram_free_fraction(self) -> float:
+        return self.dram.free_fraction
+
+    @property
+    def c0_capacity(self) -> int:
+        """Octants C0 may hold: the configured budget, capped by the arena.
+
+        This is the paper's "DRAM size configured for the C0 tree" knob
+        (Fig 10) — the arena may be physically larger, but PM-octree only
+        uses its budgeted share.
+        """
+        return min(self.dram.capacity, self.config.dram_capacity_octants)
+
+    @property
+    def c0_free(self) -> int:
+        return max(0, self.c0_capacity - self.dram.used)
+
+    def _ensure_dram_capacity(self, needed: int, protect: Optional[int] = None) -> bool:
+        """Evict LFU C0 subtrees until ``needed`` slots are free.
+
+        ``protect`` names a loc whose covering subtree should be evicted
+        last.  Returns False when the protected subtree itself had to go
+        (the caller must fall back to the NVBM path).
+        """
+        from repro.core.merge import evict_subtree
+
+        threshold_free = max(
+            needed,
+            int(self.config.threshold_dram * self.c0_capacity),
+        )
+        protected_root = self._c0_root_of(protect) if protect is not None else None
+        while self.c0_free < threshold_free:
+            victims = sorted(
+                (
+                    (stats.accesses, root)
+                    for root, stats in self._c0_roots.items()
+                    if root != protected_root
+                ),
+            )
+            if not victims:
+                if protected_root is not None:
+                    evict_subtree(self, protected_root)
+                    self.stats.evictions += 1
+                    return False
+                return self.c0_free >= needed
+            _, victim = victims[0]
+            evict_subtree(self, victim)
+            self.stats.evictions += 1
+        return True
+
+    # ------------------------------------------------------------------- features
+
+    def register_feature(self, fn: FeatureFn) -> None:
+        """Register an application feature function (§3.3): a predicate over
+        ``(loc, payload)`` marking octants the next routines will touch."""
+        self.features.append(fn)
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def persist(self, transform: bool = True,
+                keep_resident: Optional[bool] = None) -> int:
+        """§3.2 persist point: merge C0 into C1, flush, atomically publish.
+
+        Returns the new persistent root handle.  With ``transform`` on, the
+        dynamic layout transformation runs afterwards (§3.3: "only triggered
+        after the completion of the merging operations") and hot C0 subtrees
+        stay DRAM-resident across the persist (incremental copying) —
+        ``keep_resident`` overrides that default.
+        """
+        from repro.core.merge import merge_all_c0
+        from repro.core.transform import detect_and_transform
+
+        if keep_resident is None:
+            keep_resident = transform
+        self.injector.site("persist.begin")
+        self.merging = True
+        try:
+            root = merge_all_c0(self, keep_resident=keep_resident)
+            if not is_nvbm(root):
+                raise ConsistencyError("root still volatile after merge")
+            self.injector.site("persist.before_flush")
+            self.nvbm.flush()
+            self.injector.site("persist.before_root_swap")
+            # THE commit point: one atomic 8-byte root-slot store.
+            self.nvbm.roots.set(SLOT_PREV, root)
+            self.injector.site("persist.after_root_swap")
+        finally:
+            self.merging = False
+        self.epoch += 1
+        self.stats.persists += 1
+        if keep_resident and not transform and not self._c0_roots:
+            # Static (brute-force) layout: when pressure evictions have
+            # emptied C0, re-fill it with the first subtree that fits, by
+            # locational-code order — no access-pattern knowledge (Fig 5a).
+            self._load_static_chunk()
+        # Mark records superseded by COW during the finished step: they are
+        # V_{i-2}-only now and become GC food.
+        for old in self._superseded:
+            if self.nvbm.contains(old):
+                rec = self.nvbm.read_octant(old)
+                rec.set_deleted(True)
+                self.nvbm.write_octant(old, rec)
+                self.stats.marked_deleted += 1
+        self._superseded.clear()
+        self.nvbm.flush()
+        if self.nvbm.free_fraction < self.config.threshold_nvbm:
+            self.gc()
+        if self.replica is not None:
+            # §3.4: "when the crashed node will not be available, delta
+            # octants need to be copied to other compute nodes"
+            from repro.core.replication import ship_delta
+
+            shipped = ship_delta(self, self.replica)
+            if self.on_replica_ship is not None:
+                self.on_replica_ship(shipped)
+        if transform:
+            detect_and_transform(self)
+        return root
+
+    def enable_replication(self, replica=None,
+                           on_ship: Optional[Callable[[int], None]] = None):
+        """Turn on remote replication (the §3.4 user-enabled feature).
+
+        ``replica`` defaults to a fresh :class:`~repro.core.replication.
+        ReplicaStore`; ``on_ship`` receives the shipped byte count at each
+        persist so the caller can charge its network model.  Returns the
+        replica for placement on a peer (see ``choose_replica_peer``).
+        """
+        from repro.core.replication import ReplicaStore
+
+        self.replica = replica if replica is not None else ReplicaStore()
+        self.on_replica_ship = on_ship
+        return self.replica
+
+    def _load_static_chunk(self) -> None:
+        """Load the first budget-sized subtree (by locational code) into C0."""
+        from repro.core.merge import load_subtree, subtree_locs
+
+        loc = morton.ROOT_LOC
+        while True:
+            if len(subtree_locs(self, loc)) <= self.c0_free:
+                load_subtree(self, loc)
+                return
+            if loc in self._leaf_set:
+                return
+            children = [
+                c for c in morton.children_of(loc, self.dim)
+                if c in self._index
+            ]
+            if not children:
+                return
+            loc = children[0]
+
+    def gc(self):
+        """Run mark-and-sweep (refused mid-merge, §3.2)."""
+        from repro.core.gc import mark_and_sweep
+
+        if self.merging:
+            raise GCDisabledError("GC is disabled while a merge is in flight")
+        return mark_and_sweep(self)
+
+    def restore(self):
+        """Recover from the last persist point (see repro.core.recovery)."""
+        from repro.core.recovery import restore_inplace
+
+        return restore_inplace(self)
+
+    def delete_all(self) -> None:
+        """pm_delete: drop every octant on both arenas and reset roots."""
+        for h in list(self.dram.live_handles()):
+            self.dram.free(h)
+        for h in list(self.nvbm.live_handles()):
+            self.nvbm.free(h)
+        self.nvbm.roots.set(SLOT_PREV, NULL_HANDLE)
+        self.nvbm.roots.set(SLOT_CURR, NULL_HANDLE)
+        self._index.clear()
+        self._leaf_set.clear()
+        self._c0_roots.clear()
+        self._origin.clear()
+        self._dirty.clear()
+        self._superseded.clear()
+
+    # ------------------------------------------------------------------ inspection
+
+    def reachable_from(self, root_handle: int) -> Set[int]:
+        """NVBM handles reachable from an NVBM root (DRAM pointers skipped)."""
+        seen: Set[int] = set()
+        if not is_nvbm(root_handle):
+            return seen
+        stack = [root_handle]
+        while stack:
+            h = stack.pop()
+            if h in seen or not self.nvbm.contains(h):
+                continue
+            seen.add(h)
+            rec = self.nvbm.read_octant(h)
+            for ch in rec.live_children():
+                if is_nvbm(ch):
+                    stack.append(ch)
+        return seen
+
+    def overlap_ratio(self) -> float:
+        """|octants shared by V_{i-1} and V_i| / |octants of V_i| (§3.1).
+
+        A C0 octant whose DRAM copy is still clean counts as shared: its
+        NVBM origin serves V_{i-1} and will be re-linked (not rewritten) at
+        the next merge, so only one persistent record exists for it.
+        """
+        prev_root = self.nvbm.roots.get(SLOT_PREV)
+        if prev_root == NULL_HANDLE:
+            return 0.0
+        prev = self.reachable_from(prev_root)
+        shared = sum(
+            1 for h in self._index.values() if is_nvbm(h) and h in prev
+        )
+        for loc, origin in self._origin.items():
+            if loc not in self._dirty and origin in prev:
+                shared += 1
+        return shared / max(1, len(self._index))
+
+    def memory_usage_octants(self) -> int:
+        """Total live records across both arenas (Fig 3's memory usage)."""
+        return self.dram.used + self.nvbm.used
+
+    def c0_size(self) -> int:
+        return sum(s.size for s in self._c0_roots.values())
+
+    def tree_depth(self) -> int:
+        return max(
+            (morton.level_of(l, self.dim) for l in self._leaf_set), default=0
+        )
+
+    def check_invariants(self) -> None:
+        """Verify I1-I3 plus index/record agreement (test helper)."""
+        for loc, handle in self._index.items():
+            arena = self._arena_of(handle)
+            rec = arena.read_octant(handle)
+            if rec.loc != loc:
+                raise ConsistencyError(f"index {loc:#x} -> record {rec.loc:#x}")
+            if rec.is_deleted:
+                raise ConsistencyError(f"live index entry {loc:#x} marked deleted")
+            in_c0 = self._c0_root_of(loc) is not None
+            if in_c0 != is_dram(handle):
+                raise ConsistencyError(
+                    f"I1 violated at {loc:#x}: c0={in_c0}, dram={is_dram(handle)}"
+                )
+            if rec.is_leaf != (loc in self._leaf_set):
+                raise ConsistencyError(f"leaf flag mismatch at {loc:#x}")
+        prev_root = self.nvbm.roots.get(SLOT_PREV)
+        if prev_root != NULL_HANDLE:
+            for h in self.reachable_from(prev_root):
+                rec = self.nvbm.read_octant(h)
+                if rec.epoch >= self.epoch:
+                    raise ConsistencyError(
+                        f"I2 violated: persistent record {h:#x} has epoch "
+                        f"{rec.epoch} >= current {self.epoch}"
+                    )

@@ -1,0 +1,131 @@
+"""Failure recovery (§3.4).
+
+``pm_restore`` makes the working version identical to the last persistent
+version: discard all volatile state, point ``V_i`` back at ``ADDR(V_{i-1})``,
+and rebuild the (volatile) lookup structures by one traversal.  Octants that
+only the crashed working version referenced are left for GC — recovery does
+not wait for them, which is why it is near-instantaneous.
+
+The traversal doubles as a consistency audit: invariant I2 guarantees every
+record reachable from the persistent root was flushed before the root was
+published and never mutated since, so any torn/deleted/mislinked record here
+is a real bug and raises :class:`~repro.errors.ConsistencyError`.  The crash
+tests hammer exactly this.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.config import PMOctreeConfig
+from repro.errors import ConsistencyError, RecoveryError
+from repro.nvbm.arena import MemoryArena
+from repro.nvbm.failure import FailureInjector
+from repro.nvbm.pointers import NULL_HANDLE, is_nvbm
+from repro.octree import morton
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.pmoctree import PMOctree
+
+from repro.core.pmoctree import SLOT_CURR, SLOT_PREV
+
+
+def restore_inplace(pmo: "PMOctree") -> int:
+    """Reset ``pmo`` to its last persistent version; returns octant count."""
+    pmo.merging = False
+    root = pmo.nvbm.roots.get(SLOT_PREV)
+    if root == NULL_HANDLE:
+        raise RecoveryError("no persistent version exists (never persisted)")
+    if not is_nvbm(root):
+        raise ConsistencyError("persistent root is not an NVBM handle")
+    pmo.nvbm.roots.set(SLOT_CURR, root)
+
+    # Drop every volatile structure; anything DRAM-resident is gone anyway
+    # after a real crash (callers crash the arenas first), and a voluntary
+    # rollback must discard it too.
+    for h in list(pmo.dram.live_handles()):
+        pmo.dram.free(h)
+    pmo._index.clear()
+    pmo._leaf_set.clear()
+    pmo._c0_roots.clear()
+    pmo._origin.clear()
+    pmo._dirty.clear()
+    pmo._superseded.clear()
+
+    max_epoch = 0
+    stack = [(root, morton.ROOT_LOC, 0)]
+    count = 0
+    while stack:
+        handle, expect_loc, expect_level = stack.pop()
+        if not pmo.nvbm.contains(handle):
+            raise ConsistencyError(
+                f"persistent tree references unallocated record {handle:#x}"
+            )
+        rec = pmo.nvbm.read_octant(handle)
+        if rec.loc != expect_loc or rec.level != expect_level:
+            raise ConsistencyError(
+                f"record {handle:#x} claims loc={rec.loc:#x}/L{rec.level}, "
+                f"expected {expect_loc:#x}/L{expect_level}"
+            )
+        if rec.is_deleted:
+            raise ConsistencyError(
+                f"persistent tree references deleted record {handle:#x}"
+            )
+        max_epoch = max(max_epoch, rec.epoch)
+        pmo._index[expect_loc] = handle
+        if rec.is_leaf:
+            pmo._leaf_set.add(expect_loc)
+        else:
+            for idx, ch in enumerate(rec.children[: morton.fanout(pmo.dim)]):
+                if ch == NULL_HANDLE:
+                    raise ConsistencyError(
+                        f"internal record {handle:#x} has a null child slot"
+                    )
+                if not is_nvbm(ch):
+                    raise ConsistencyError(
+                        f"persistent record {handle:#x} points into DRAM"
+                    )
+                stack.append(
+                    (ch, morton.child_of(expect_loc, pmo.dim, idx),
+                     expect_level + 1)
+                )
+        count += 1
+    pmo.epoch = max_epoch + 1
+    return count
+
+
+def attach_and_restore(dram: MemoryArena, nvbm: MemoryArena, dim: int = 2,
+                       config: Optional[PMOctreeConfig] = None,
+                       injector: Optional[FailureInjector] = None) -> "PMOctree":
+    """Build a PMOctree around surviving arenas after a process restart.
+
+    This is the "crashed node rebooted and reruns the application" path: the
+    NVBM arena still holds the persistent tree; the returned PM-octree is
+    restored from it without constructing a fresh root.
+    """
+    from repro.core.pmoctree import PMOctree
+
+    pmo = PMOctree.__new__(PMOctree)
+    pmo.dram = dram
+    pmo.nvbm = nvbm
+    if dim not in (2, 3):
+        raise ValueError(f"only dim 2 and 3 supported, got {dim}")
+    pmo.dim = dim
+    pmo.config = config or PMOctreeConfig()
+    pmo.injector = injector or FailureInjector()
+    from repro.core.pmoctree import PMStats
+
+    pmo.stats = PMStats()
+    pmo.epoch = 1
+    pmo.merging = False
+    pmo.features = []
+    pmo.replica = None
+    pmo.on_replica_ship = None
+    pmo._index = {}
+    pmo._leaf_set = set()
+    pmo._c0_roots = {}
+    pmo._origin = {}
+    pmo._dirty = set()
+    pmo._superseded = []
+    restore_inplace(pmo)
+    return pmo

@@ -1,0 +1,142 @@
+"""Remote replicas of the persistent version (§3.4, second scenario).
+
+When a crashed node never comes back, the local NVBM is gone with it, so
+PM-octree can keep a replica ``V_{i-1}^P`` of the persistent version on a
+peer node.  Only *deltas* are shipped per persist — the records the peer has
+not seen yet — which is cheap because the overlap ratio between adjacent
+persistent versions is high (Fig 3).
+
+Recovering onto a replacement node materialises the replica into a fresh
+NVBM arena.  Handles embed the arena they belong to, so every parent/child
+pointer must be rewritten for the new arena — the pointer-swizzling chore
+§1 says the library must hide from application developers.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional, Set, Tuple
+
+from repro.config import OCTANT_RECORD_SIZE, PMOctreeConfig
+from repro.errors import RecoveryError
+from repro.nvbm.arena import MemoryArena
+from repro.nvbm.failure import FailureInjector
+from repro.nvbm.pointers import NULL_HANDLE, is_nvbm
+from repro.nvbm.records import unpack_record
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.pmoctree import PMOctree
+
+from repro.core.pmoctree import SLOT_PREV
+
+
+def choose_replica_peer(cluster, host_rank: int) -> Optional[int]:
+    """Pick where to place ``V_{i-1}^P`` (the paper's §6 deferred feature).
+
+    "V^P is stored on other compute nodes or staging nodes selected by job
+    schedulers according to their NVBM utilization" — so: among alive ranks
+    on *different nodes* than the host, choose the one whose NVBM arena has
+    the most free space.  Returns None when no such rank exists (single-node
+    cluster or everyone else dead), in which case replication degrades to
+    host-only persistence.
+    """
+    host_node = cluster.ranks[host_rank].node
+    best = None
+    best_free = -1.0
+    for ctx in cluster.ranks:
+        if not ctx.alive or ctx.node == host_node:
+            continue
+        nvbm = ctx.resources.get("nvbm")
+        if nvbm is None:
+            continue
+        if nvbm.free_fraction > best_free:
+            best_free = nvbm.free_fraction
+            best = ctx.rank
+    return best
+
+
+class ReplicaStore:
+    """Holds record images of a persistent version, keyed by origin handle."""
+
+    def __init__(self) -> None:
+        self.records: Dict[int, bytes] = {}
+        self.root: int = NULL_HANDLE
+
+    @property
+    def known_handles(self) -> Set[int]:
+        return set(self.records)
+
+    def bytes_stored(self) -> int:
+        return len(self.records) * OCTANT_RECORD_SIZE
+
+
+def compute_delta(pmo: "PMOctree", replica: ReplicaStore) -> Tuple[Dict[int, bytes], int]:
+    """Records of the current persistent version the replica lacks.
+
+    Returns ``(records, root_handle)``.  Raises when nothing was persisted.
+    """
+    root = pmo.nvbm.roots.get(SLOT_PREV)
+    if root == NULL_HANDLE:
+        raise RecoveryError("nothing persisted yet; no delta to replicate")
+    reachable = pmo.reachable_from(root)
+    delta = {
+        h: pmo.nvbm.read(h)
+        for h in reachable
+        if h not in replica.records
+    }
+    return delta, root
+
+
+def ship_delta(pmo: "PMOctree", replica: ReplicaStore) -> int:
+    """Apply the delta to the replica; returns bytes shipped.
+
+    The caller charges the returned byte count to its network model — the
+    replica object itself is placement-agnostic.
+    """
+    delta, root = compute_delta(pmo, replica)
+    replica.records.update(delta)
+    replica.root = root
+    # Drop replica records no longer part of the persistent version (the
+    # peer garbage-collects too, or the replica would grow without bound).
+    reachable = pmo.reachable_from(root)
+    for h in list(replica.records):
+        if h not in reachable:
+            del replica.records[h]
+    return len(delta) * OCTANT_RECORD_SIZE
+
+
+def restore_from_replica(replica: ReplicaStore, dram: MemoryArena,
+                         nvbm: MemoryArena, dim: int = 2,
+                         config: Optional[PMOctreeConfig] = None,
+                         injector: Optional[FailureInjector] = None
+                         ) -> "PMOctree":
+    """Materialise a replica into fresh arenas on a replacement node.
+
+    Every record is re-allocated in the new NVBM arena and its parent/child
+    handles are swizzled through the old->new translation table; then the
+    normal restore path takes over.
+    """
+    from repro.core.recovery import attach_and_restore
+
+    if replica.root == NULL_HANDLE or not replica.records:
+        raise RecoveryError("replica is empty; cannot recover from it")
+    translation: Dict[int, int] = {
+        old: nvbm.alloc() for old in replica.records
+    }
+
+    def swizzle(handle: int) -> int:
+        if handle == NULL_HANDLE:
+            return NULL_HANDLE
+        # Pointers into lost DRAM or to records outside the replica cannot
+        # be followed on the new node; recovery never needs them.
+        return translation.get(handle, NULL_HANDLE)
+
+    for old, data in replica.records.items():
+        rec = unpack_record(data)
+        rec.parent = swizzle(rec.parent)
+        rec.children = [swizzle(c) for c in rec.children]
+        nvbm.write_octant(translation[old], rec)
+    nvbm.flush()
+    new_root = translation[replica.root]
+    nvbm.roots.set(SLOT_PREV, new_root)
+    return attach_and_restore(dram, nvbm, dim=dim, config=config,
+                              injector=injector)

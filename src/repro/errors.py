@@ -1,0 +1,59 @@
+"""Exception hierarchy for the PM-octree reproduction.
+
+Every subsystem raises subclasses of :class:`ReproError` so callers can
+distinguish simulation-infrastructure failures (e.g. an injected crash) from
+genuine programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class OutOfMemoryError(ReproError):
+    """A memory arena (DRAM or NVBM) has no free record slots left."""
+
+    def __init__(self, device: str, capacity: int):
+        super().__init__(f"device {device!r} is full (capacity={capacity} records)")
+        self.device = device
+        self.capacity = capacity
+
+
+class InvalidHandleError(ReproError):
+    """A handle does not refer to an allocated record in its arena."""
+
+
+class SimulatedCrash(ReproError):
+    """Raised by the failure injector at a registered crash point.
+
+    This models a node losing power / a process being killed: all volatile
+    state (DRAM arenas, un-flushed NVBM cache lines) is discarded by the
+    machinery that raises this, and the caller is expected to go through
+    recovery (``pm_restore``) rather than resume.
+    """
+
+    def __init__(self, point: str):
+        super().__init__(f"simulated crash at point {point!r}")
+        self.point = point
+
+
+class RecoveryError(ReproError):
+    """Recovery could not produce a consistent octree (e.g. lost replica)."""
+
+
+class ConsistencyError(ReproError):
+    """An invariant check on a persistent structure failed."""
+
+
+class StorageError(ReproError):
+    """Block-device or filesystem level failure."""
+
+
+class PartitionError(ReproError):
+    """Parallel partitioning produced an invalid distribution."""
+
+
+class GCDisabledError(ReproError):
+    """Garbage collection was requested while a merge is in flight (§3.2)."""

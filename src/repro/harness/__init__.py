@@ -1,0 +1,13 @@
+"""Experiment harness: one runner per table/figure of the paper's §5.
+
+Each ``exp_*`` function in :mod:`repro.harness.experiments` reproduces one
+evaluation artifact and returns a structured result; the benchmark suite
+(``benchmarks/``) executes them, prints the paper-style rows through
+:mod:`repro.harness.report`, and asserts the *shape* claims (who wins, by
+roughly what factor, where crossovers fall).  EXPERIMENTS.md records
+paper-vs-measured for each.
+"""
+
+from repro.harness import experiments, report
+
+__all__ = ["experiments", "report"]

@@ -1,0 +1,43 @@
+"""Plain-text tables in the style of the paper's figures."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Sequence
+
+
+def fmt(value: Any) -> str:
+    """Human-friendly cell formatting."""
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def table(title: str, headers: Sequence[str],
+          rows: Iterable[Sequence[Any]]) -> str:
+    """Render an aligned table with a title rule."""
+    srows: List[List[str]] = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    out = [f"== {title} =="]
+    out.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append(sep)
+    for row in srows:
+        out.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def print_table(title: str, headers: Sequence[str],
+                rows: Iterable[Sequence[Any]]) -> None:
+    print()
+    print(table(title, headers, rows))
+
+
+def seconds(ns: float) -> float:
+    return ns * 1e-9

@@ -1,0 +1,230 @@
+"""Memory arenas: record-addressed DRAM and NVBM with crash semantics.
+
+An arena is the byte store behind one memory technology on one node.  Octant
+records are addressed by *handles* (:mod:`repro.nvbm.pointers`), each access
+is charged to the simulated clock by the arena's
+:class:`~repro.nvbm.device.MemoryDevice`, and — the part the paper's
+emulator could not exercise — stores to a non-volatile arena first land in a
+volatile write-back cache whose lines are dropped or torn on a crash.
+
+Crash model
+-----------
+* A **volatile** arena loses everything: backing store, cache, allocations.
+* A **non-volatile** arena keeps its backing store.  Each dirty cached record
+  is persisted *per 64-byte line* with independent probability 1/2 (the CPU
+  may have evicted any subset of lines, in any order) and the cache is then
+  discarded.  Allocator metadata is assumed persistent, as a real NVBM
+  allocator's would be; slots holding torn or never-persisted records are
+  reclaimed by PM-octree's mark-and-sweep GC after recovery.
+* :meth:`MemoryArena.flush` persists all dirty lines (the analogue of a
+  ``clflush``/``mfence`` sequence at a persist point), and root-slot updates
+  are 8-byte atomic write-throughs — the *only* ordered write PM-octree
+  needs (§3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+import numpy as np
+
+from repro.config import CACHE_LINE_SIZE, OCTANT_RECORD_SIZE, DeviceSpec
+from repro.errors import ConsistencyError, InvalidHandleError
+from repro.nvbm.allocator import RecordAllocator
+from repro.nvbm.clock import Category, SimClock
+from repro.nvbm.device import MemoryDevice
+from repro.nvbm.pointers import arena_of, index_of, make_handle
+from repro.nvbm.records import OctantRecord, pack_record, unpack_record
+
+#: Cost of the ordering instruction sequence at a flush/persist point.
+FENCE_NS = 250.0
+
+_LINES_PER_RECORD = OCTANT_RECORD_SIZE // CACHE_LINE_SIZE
+
+
+class RootSlots:
+    """Named 8-byte persistent slots for ``ADDR(V_i)`` / ``ADDR(V_{i-1})``.
+
+    Updates are write-through and atomic: an 8-byte aligned store is atomic
+    on x86, which is the primitive PM-octree's persist-point swap relies on.
+    """
+
+    def __init__(self, device: MemoryDevice):
+        self._device = device
+        self._slots: Dict[str, int] = {}
+
+    def get(self, name: str) -> int:
+        self._device.on_read(8)
+        return self._slots.get(name, 0)
+
+    def set(self, name: str, handle: int) -> None:
+        self._device.on_write(8)
+        self._slots[name] = handle
+
+    def swap(self, a: str, b: str) -> None:
+        """Atomically exchange two root slots (the §3.2 persist point)."""
+        va, vb = self._slots.get(a, 0), self._slots.get(b, 0)
+        self._device.on_write(8)
+        self._device.on_write(8)
+        self._slots[a], self._slots[b] = vb, va
+
+    def names(self) -> Iterator[str]:
+        return iter(self._slots)
+
+
+class MemoryArena:
+    """Record-granular memory of one technology (DRAM or NVBM) on one node."""
+
+    def __init__(
+        self,
+        arena_id: int,
+        spec: DeviceSpec,
+        clock: SimClock,
+        capacity_octants: int,
+        name: Optional[str] = None,
+        wear_leveling: bool = False,
+    ):
+        self.arena_id = arena_id
+        self.spec = spec
+        self.name = name or spec.name
+        self.device = MemoryDevice(spec, clock)
+        if wear_leveling:
+            from repro.nvbm.allocator import WearLevelingAllocator
+
+            self.allocator = WearLevelingAllocator(capacity_octants,
+                                                   name=self.name)
+        else:
+            self.allocator = RecordAllocator(capacity_octants, name=self.name)
+        self._backing: Dict[int, bytes] = {}
+        self._cache: Dict[int, bytes] = {}
+        # Root slots only make sense on a persistent arena but are harmless
+        # on DRAM (they just vanish with everything else on a crash).
+        self.roots = RootSlots(self.device)
+
+    # -- capacity ----------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self.allocator.capacity
+
+    @property
+    def used(self) -> int:
+        return self.allocator.used
+
+    @property
+    def free_fraction(self) -> float:
+        return self.allocator.free_fraction
+
+    # -- raw record access ---------------------------------------------------
+
+    def _check(self, handle: int) -> int:
+        if arena_of(handle) != self.arena_id:
+            raise InvalidHandleError(
+                f"handle {handle:#x} does not belong to arena {self.name!r}"
+            )
+        idx = index_of(handle)
+        if not self.allocator.is_allocated(idx):
+            raise InvalidHandleError(f"{self.name}: handle {handle:#x} is not allocated")
+        return idx
+
+    def alloc(self) -> int:
+        """Allocate a record slot and return its handle (contents undefined)."""
+        return make_handle(self.arena_id, self.allocator.alloc())
+
+    def free(self, handle: int) -> None:
+        """Release a record slot (GC only, per §3.2's deferred deletion)."""
+        idx = self._check(handle)
+        self.allocator.free(idx)
+        self._backing.pop(idx, None)
+        self._cache.pop(idx, None)
+
+    def read(self, handle: int) -> bytes:
+        """Load a record, read-your-writes through the cache."""
+        idx = self._check(handle)
+        self.device.on_read(OCTANT_RECORD_SIZE)
+        data = self._cache.get(idx)
+        if data is None:
+            data = self._backing.get(idx)
+        if data is None:
+            raise ConsistencyError(
+                f"{self.name}: handle {handle:#x} allocated but never written "
+                "(likely a dangling pointer into torn/unflushed memory)"
+            )
+        return data
+
+    def write(self, handle: int, data: bytes) -> None:
+        """Store a record.  On NVBM the store lands in the volatile cache."""
+        idx = self._check(handle)
+        if len(data) != OCTANT_RECORD_SIZE:
+            raise ValueError(f"record must be {OCTANT_RECORD_SIZE} bytes")
+        self.device.on_write(OCTANT_RECORD_SIZE, slot=idx)
+        if self.spec.volatile:
+            self._backing[idx] = data
+        else:
+            self._cache[idx] = data
+
+    def contains(self, handle: int) -> bool:
+        """True when the handle is a live allocation in this arena."""
+        return (
+            arena_of(handle) == self.arena_id
+            and self.allocator.is_allocated(index_of(handle))
+        )
+
+    # -- octant-level convenience -------------------------------------------
+
+    def read_octant(self, handle: int) -> OctantRecord:
+        return unpack_record(self.read(handle))
+
+    def write_octant(self, handle: int, rec: OctantRecord) -> None:
+        self.write(handle, pack_record(rec))
+
+    def new_octant(self, rec: OctantRecord) -> int:
+        """Allocate and store a fresh octant; return its handle."""
+        handle = self.alloc()
+        self.write(handle, pack_record(rec))
+        return handle
+
+    # -- durability ----------------------------------------------------------
+
+    @property
+    def dirty_records(self) -> int:
+        return len(self._cache)
+
+    def flush(self) -> None:
+        """Persist every dirty cached record (persist-point fence)."""
+        self.device.clock.advance(FENCE_NS, self.device._category)
+        self._backing.update(self._cache)
+        self._cache.clear()
+
+    def crash(self, rng: Optional[np.random.Generator] = None) -> None:
+        """Apply power-loss semantics (see module docstring)."""
+        if self.spec.volatile:
+            self._backing.clear()
+            self._cache.clear()
+            self.allocator.reset()
+            self.roots._slots.clear()
+            return
+        rng = rng or np.random.default_rng()
+        for idx, data in self._cache.items():
+            old = self._backing.get(idx, b"\x00" * OCTANT_RECORD_SIZE)
+            pieces = []
+            for line in range(_LINES_PER_RECORD):
+                lo, hi = line * CACHE_LINE_SIZE, (line + 1) * CACHE_LINE_SIZE
+                pieces.append(data[lo:hi] if rng.random() < 0.5 else old[lo:hi])
+            merged = b"".join(pieces)
+            if merged != old:
+                self._backing[idx] = merged
+        self._cache.clear()
+
+    # -- introspection ---------------------------------------------------------
+
+    def live_handles(self) -> Iterator[int]:
+        """All allocated handles (GC sweep order)."""
+        for idx in self.allocator.live_indices():
+            yield make_handle(self.arena_id, int(idx))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MemoryArena({self.name}, used={self.used}/{self.capacity}, "
+            f"dirty={self.dirty_records})"
+        )

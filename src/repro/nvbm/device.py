@@ -1,0 +1,101 @@
+"""Memory-device latency and wear model.
+
+A :class:`MemoryDevice` does no storage itself — it is the *meter* through
+which an arena charges simulated time and counts accesses.  The latency model
+follows the paper's emulator: a fixed per-access latency (Table 2), charged
+once per cache line touched, which is how a CPU actually issues the traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import CACHE_LINE_SIZE, DeviceSpec
+from repro.nvbm.clock import Category, SimClock
+
+
+@dataclass
+class DeviceStats:
+    """Raw access counters for one device."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def merged_with(self, other: "DeviceStats") -> "DeviceStats":
+        return DeviceStats(
+            reads=self.reads + other.reads,
+            writes=self.writes + other.writes,
+            bytes_read=self.bytes_read + other.bytes_read,
+            bytes_written=self.bytes_written + other.bytes_written,
+        )
+
+
+class MemoryDevice:
+    """Charges a :class:`SimClock` for accesses and tracks per-slot wear.
+
+    Parameters
+    ----------
+    spec:
+        Latency/endurance characteristics (e.g. :data:`repro.config.NVBM_SPEC`).
+    clock:
+        The simulated clock to charge.  A rank's arenas share one clock.
+    track_wear:
+        When true, keeps a per-record write counter so benches can report
+        endurance headroom (writes/slot vs ``spec.endurance_writes``).
+    """
+
+    def __init__(self, spec: DeviceSpec, clock: SimClock, track_wear: bool = True):
+        self.spec = spec
+        self.clock = clock
+        self.stats = DeviceStats()
+        self.track_wear = track_wear
+        self._wear = np.zeros(0, dtype=np.int64)
+        self._category = Category.MEM_DRAM if spec.volatile else Category.MEM_NVBM
+
+    def _lines(self, nbytes: int) -> int:
+        return max(1, -(-nbytes // CACHE_LINE_SIZE))
+
+    def on_read(self, nbytes: int) -> None:
+        """Charge one read of ``nbytes`` (one latency per cache line)."""
+        self.stats.reads += 1
+        self.stats.bytes_read += nbytes
+        self.clock.advance(
+            self._lines(nbytes) * self.spec.read_latency_ns, self._category
+        )
+
+    def on_write(self, nbytes: int, slot: int = -1) -> None:
+        """Charge one write of ``nbytes``; bump wear for ``slot`` if tracked."""
+        self.stats.writes += 1
+        self.stats.bytes_written += nbytes
+        self.clock.advance(
+            self._lines(nbytes) * self.spec.write_latency_ns, self._category
+        )
+        if self.track_wear and slot >= 0:
+            if slot >= self._wear.size:
+                grown = np.zeros(max(slot + 1, 2 * self._wear.size, 1024), dtype=np.int64)
+                grown[: self._wear.size] = self._wear
+                self._wear = grown
+            self._wear[slot] += 1
+
+    # -- wear reporting ----------------------------------------------------
+
+    def wear_max(self) -> int:
+        """Highest write count seen on any single record slot."""
+        return int(self._wear.max()) if self._wear.size else 0
+
+    def wear_total(self) -> int:
+        return int(self._wear.sum()) if self._wear.size else 0
+
+    def wear_headroom(self) -> float:
+        """Fraction of the endurance budget left on the most-worn slot."""
+        if self.spec.endurance_writes <= 0:
+            return 0.0
+        return 1.0 - self.wear_max() / self.spec.endurance_writes
+
+    def reset_stats(self) -> None:
+        self.stats = DeviceStats()
+        self._wear = np.zeros(0, dtype=np.int64)

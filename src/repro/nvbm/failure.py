@@ -1,0 +1,81 @@
+"""Deterministic crash injection.
+
+The §5.6 experiments "kill the processes at time step 20"; the consistency
+tests go further and kill *inside* individual PM-octree operations (mid-merge,
+mid-COW-propagation, between a record store and the root swap).  Code under
+test declares named crash *sites*; a test arms a :class:`CrashPlan` naming a
+site and the hit count at which to fire, and the injector raises
+:class:`~repro.errors.SimulatedCrash` there.  The owner of the arenas then
+calls their ``crash()`` methods to apply power-loss semantics before
+attempting recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import SimulatedCrash
+
+
+@dataclass
+class CrashPlan:
+    """Fire at the ``at_hit``-th execution of ``site`` (1-based)."""
+
+    site: str
+    at_hit: int = 1
+
+    def __post_init__(self) -> None:
+        if self.at_hit < 1:
+            raise ValueError("at_hit is 1-based and must be >= 1")
+
+
+class FailureInjector:
+    """Registry of armed crash plans and per-site hit counters.
+
+    A disarmed injector is free: :meth:`site` is a counter bump and a dict
+    miss.  Sites are plain strings like ``"merge.mid"`` or
+    ``"persist.before_root_swap"``; the list of sites a structure exposes is
+    part of its testable surface.
+    """
+
+    def __init__(self) -> None:
+        self._plans: Dict[str, CrashPlan] = {}
+        self.hits: Dict[str, int] = {}
+        self.fired: List[str] = []
+
+    def arm(self, site: str, at_hit: int = 1) -> None:
+        """Schedule a crash at the ``at_hit``-th visit of ``site``."""
+        self._plans[site] = CrashPlan(site, at_hit)
+
+    def disarm(self, site: Optional[str] = None) -> None:
+        """Remove one plan, or all plans when ``site`` is None."""
+        if site is None:
+            self._plans.clear()
+        else:
+            self._plans.pop(site, None)
+
+    def site(self, name: str) -> None:
+        """Declare a crash site; raises SimulatedCrash when an armed plan fires."""
+        self.hits[name] = self.hits.get(name, 0) + 1
+        plan = self._plans.get(name)
+        if plan is not None and self.hits[name] == plan.at_hit:
+            del self._plans[name]
+            self.fired.append(name)
+            raise SimulatedCrash(name)
+
+    def reset_hits(self) -> None:
+        self.hits.clear()
+
+    @property
+    def armed_sites(self) -> List[str]:
+        return sorted(self._plans)
+
+
+#: A process-wide injector used when callers do not supply their own.
+_default_injector = FailureInjector()
+
+
+def default_injector() -> FailureInjector:
+    """The shared injector (convenient for examples; tests pass their own)."""
+    return _default_injector

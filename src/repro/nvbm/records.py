@@ -1,0 +1,128 @@
+"""Fixed-size octant record format.
+
+Octants stored in an arena are 128-byte packed records — the byte-level
+layout a C implementation would use — so that writes have a realistic size
+(two cache lines), torn writes can be modelled at line granularity, and
+capacity thresholds (``threshold_DRAM`` / ``threshold_NVBM``) are meaningful.
+
+Layout (little-endian, 120 bytes payload padded to 128):
+
+====== ===== =====================================================
+offset bytes field
+====== ===== =====================================================
+0      8     locational code (level-prefixed Morton key)
+8      1     level
+9      1     flags (FLAG_LEAF, FLAG_DELETED)
+10     2     padding
+12     4     epoch (version counter at creation; drives COW sharing)
+16     32    payload: 4 float64 (solver fields, e.g. vof/p/u/v)
+48     8     parent handle
+56     64    8 child handles (quadtree uses the first 4)
+====== ===== =====================================================
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field, replace
+from typing import List, Tuple
+
+from repro.config import OCTANT_RECORD_SIZE
+from repro.nvbm.pointers import NULL_HANDLE
+
+FLAG_LEAF = 0x1
+FLAG_DELETED = 0x2
+
+_STRUCT = struct.Struct("<QBBHI4dQ8Q")
+_PAD = OCTANT_RECORD_SIZE - _STRUCT.size
+assert _PAD >= 0, "record layout exceeds OCTANT_RECORD_SIZE"
+_PAD_BYTES = b"\x00" * _PAD
+
+#: Number of payload float slots per octant.
+PAYLOAD_SLOTS = 4
+
+#: Maximum children per octant record (octree fanout).
+MAX_CHILDREN = 8
+
+
+@dataclass
+class OctantRecord:
+    """Unpacked view of one octant record.
+
+    Mutating a view does nothing until it is written back through an arena;
+    this mirrors the load/modify/store cycle of the real data structure.
+    """
+
+    loc: int = 0
+    level: int = 0
+    flags: int = FLAG_LEAF
+    epoch: int = 0
+    payload: Tuple[float, float, float, float] = (0.0, 0.0, 0.0, 0.0)
+    parent: int = NULL_HANDLE
+    children: List[int] = field(default_factory=lambda: [NULL_HANDLE] * MAX_CHILDREN)
+
+    @property
+    def is_leaf(self) -> bool:
+        return bool(self.flags & FLAG_LEAF)
+
+    @property
+    def is_deleted(self) -> bool:
+        return bool(self.flags & FLAG_DELETED)
+
+    def set_leaf(self, leaf: bool) -> None:
+        if leaf:
+            self.flags |= FLAG_LEAF
+        else:
+            self.flags &= ~FLAG_LEAF
+
+    def set_deleted(self, deleted: bool) -> None:
+        if deleted:
+            self.flags |= FLAG_DELETED
+        else:
+            self.flags &= ~FLAG_DELETED
+
+    def live_children(self) -> List[int]:
+        """Non-null child handles."""
+        return [c for c in self.children if c != NULL_HANDLE]
+
+    def copy(self) -> "OctantRecord":
+        return replace(self, payload=tuple(self.payload), children=list(self.children))
+
+
+def pack_record(rec: OctantRecord) -> bytes:
+    """Serialize to the fixed 128-byte wire format."""
+    if len(rec.children) != MAX_CHILDREN:
+        raise ValueError(f"record must carry {MAX_CHILDREN} child slots")
+    return (
+        _STRUCT.pack(
+            rec.loc,
+            rec.level,
+            rec.flags,
+            0,
+            rec.epoch,
+            *rec.payload,
+            rec.parent,
+            *rec.children,
+        )
+        + _PAD_BYTES
+    )
+
+
+def unpack_record(data: bytes) -> OctantRecord:
+    """Deserialize a 128-byte record."""
+    if len(data) != OCTANT_RECORD_SIZE:
+        raise ValueError(f"expected {OCTANT_RECORD_SIZE} bytes, got {len(data)}")
+    fields = _STRUCT.unpack(data[: _STRUCT.size])
+    loc, level, flags, _pad, epoch = fields[:5]
+    payload = fields[5:9]
+    parent = fields[9]
+    children = list(fields[10:18])
+    return OctantRecord(
+        loc=loc,
+        level=level,
+        flags=flags,
+        epoch=epoch,
+        payload=payload,
+        parent=parent,
+        children=children,
+    )

@@ -1,0 +1,35 @@
+"""Octree substrate: locational codes, tree structures, and meshing routines.
+
+Everything here is technology-neutral: the algorithms (refinement, 2:1
+balancing, neighbor finding, mesh extraction) are written against the
+:class:`~repro.octree.store.AdaptiveTree` protocol keyed by *locational
+codes*, so the same code drives the in-core baseline, the Etree baseline and
+PM-octree — mirroring the paper's point that "all existing in-core
+algorithms ... can be easily adapted to the new system with few changes"
+(§3.2).
+
+The library supports ``dim = 2`` (quadtree, used by most tests and the
+figures' 2-D illustrations) and ``dim = 3`` (octree).
+"""
+
+from repro.octree import morton
+from repro.octree.store import AdaptiveTree
+from repro.octree.tree import PointerOctree
+from repro.octree.linear import LinearOctree
+from repro.octree.balance import balance_tree, is_balanced
+from repro.octree.refine import Action, RefinementEngine, RefinementResult
+from repro.octree.mesh import ExtractedMesh, extract_mesh
+
+__all__ = [
+    "Action",
+    "AdaptiveTree",
+    "ExtractedMesh",
+    "LinearOctree",
+    "PointerOctree",
+    "RefinementEngine",
+    "RefinementResult",
+    "balance_tree",
+    "extract_mesh",
+    "is_balanced",
+    "morton",
+]

@@ -1,0 +1,113 @@
+"""The tree protocol shared by all three octree implementations.
+
+Algorithms (balancing, mesh extraction, the solver, the parallel driver) are
+written against :class:`AdaptiveTree` and key octants by *locational code*,
+never by memory handle.  This is what lets the in-core baseline, the
+out-of-core Etree baseline and PM-octree swap freely under the same
+workload: the physical placement of an octant (DRAM object, NVBM record, a
+page on a block device, a COW-shared version) is each implementation's
+private business.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Protocol, Tuple, runtime_checkable
+
+Payload = Tuple[float, float, float, float]
+
+#: Payload of a freshly-created octant.
+ZERO_PAYLOAD: Payload = (0.0, 0.0, 0.0, 0.0)
+
+
+@runtime_checkable
+class AdaptiveTree(Protocol):
+    """Minimal surface the meshing/solving routines require."""
+
+    dim: int
+
+    def root_loc(self) -> int:
+        """Locational code of the root octant."""
+        ...
+
+    def exists(self, loc: int) -> bool:
+        """True when an octant with this code is present (and not deleted)."""
+        ...
+
+    def is_leaf(self, loc: int) -> bool:
+        """True when the octant exists and has no children."""
+        ...
+
+    def leaves(self) -> Iterator[int]:
+        """All leaf codes (order unspecified)."""
+        ...
+
+    def num_octants(self) -> int:
+        """Total live octants, internal nodes included."""
+        ...
+
+    def get_payload(self, loc: int) -> Payload:
+        """Read the solver payload of an octant."""
+        ...
+
+    def set_payload(self, loc: int, payload: Payload) -> None:
+        """Write the solver payload of an octant."""
+        ...
+
+    def refine(self, loc: int) -> List[int]:
+        """Split a leaf into ``2**dim`` children; returns the child codes.
+
+        Children inherit the parent's payload (Gerris-style prolongation is
+        the solver's job, done afterwards through ``set_payload``).
+        """
+        ...
+
+    def coarsen(self, loc: int) -> None:
+        """Delete the (leaf) children of ``loc``, making it a leaf again."""
+        ...
+
+
+def leaf_levels(tree: AdaptiveTree) -> List[int]:
+    """Levels of all leaves — handy for tests and balance diagnostics."""
+    from repro.octree import morton
+
+    return [morton.level_of(loc, tree.dim) for loc in tree.leaves()]
+
+
+def tree_depth(tree: AdaptiveTree) -> int:
+    """Depth of the deepest leaf (used by eq. (1) for L_sub)."""
+    levels = leaf_levels(tree)
+    return max(levels) if levels else 0
+
+
+def validate_tree(tree: AdaptiveTree) -> None:
+    """Structural invariant check used across the test suite.
+
+    * every leaf exists;
+    * every non-root leaf's ancestors exist and are not leaves;
+    * leaves tile the domain exactly (their measures sum to the root cell's).
+    """
+    from repro.errors import ConsistencyError
+    from repro.octree import morton
+
+    dim = tree.dim
+    total = 0.0
+    count = 0
+    for loc in tree.leaves():
+        count += 1
+        if not tree.exists(loc):
+            raise ConsistencyError(f"leaf {loc:#x} does not exist")
+        if not tree.is_leaf(loc):
+            raise ConsistencyError(f"{loc:#x} reported as leaf but has children")
+        level = morton.level_of(loc, dim)
+        total += (0.5 ** level) ** dim
+        walk = loc
+        while walk != tree.root_loc():
+            walk = morton.parent_of(walk, dim)
+            if not tree.exists(walk):
+                raise ConsistencyError(f"ancestor {walk:#x} of leaf {loc:#x} missing")
+            if tree.is_leaf(walk):
+                raise ConsistencyError(f"ancestor {walk:#x} of leaf {loc:#x} is a leaf")
+    if count == 0:
+        raise ConsistencyError("tree has no leaves")
+    if abs(total - 1.0) > 1e-9:
+        raise ConsistencyError(f"leaves tile {total} of the domain, expected 1.0")

@@ -1,0 +1,23 @@
+"""Parallel substrate: an in-process SPMD simulator.
+
+mpi4py and a real machine are not available offline, so the parallel runs
+are *simulated*: P rank contexts live in one process, each with its own
+simulated clock and memory arenas, and communication charges both endpoints
+using a Gemini-like latency/bandwidth model.  Execution time of a parallel
+region is the max over rank clocks at its closing barrier — the quantity the
+paper's weak/strong-scaling figures plot.
+"""
+
+from repro.parallel.network import Network
+from repro.parallel.simmpi import RankContext, SimCommunicator
+from repro.parallel.cluster import SimulatedCluster
+from repro.parallel.partition import PartitionResult, repartition
+
+__all__ = [
+    "Network",
+    "PartitionResult",
+    "RankContext",
+    "SimCommunicator",
+    "SimulatedCluster",
+    "repartition",
+]

@@ -1,0 +1,118 @@
+"""The *Partition* meshing routine: SFC re-balancing of leaves across ranks.
+
+Octants live on the Z-order space-filling curve; partitioning cuts the curve
+into P near-equal contiguous ranges (Salmon's classic scheme, also what
+Gerris' load balancing does).  Each rank ships the octants that fall outside
+its new range with one alltoallv; the record bytes moved are what the
+network model charges, and they are what makes Partition grow to 56 % of the
+time at 1000 ranks in Fig 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.config import OCTANT_RECORD_SIZE
+from repro.errors import PartitionError
+from repro.nvbm.clock import Category
+from repro.octree.linear import LinearOctree
+from repro.parallel.simmpi import SimCommunicator
+
+
+@dataclass
+class PartitionResult:
+    """Outcome of one repartitioning step."""
+
+    pieces: List[LinearOctree]
+    octants_moved: int
+    bytes_moved: int
+
+    @property
+    def balanced(self) -> bool:
+        sizes = [len(p) for p in self.pieces]
+        return (max(sizes) - min(sizes)) <= 1 if sizes else True
+
+
+def repartition(comm: SimCommunicator,
+                pieces: List[LinearOctree]) -> PartitionResult:
+    """Rebalance per-rank linear octrees onto equal SFC ranges.
+
+    ``pieces[i]`` is rank i's current set of leaves (globally disjoint,
+    together tiling the domain).  Returns the new distribution.
+    """
+    nranks = comm.size
+    if len(pieces) != nranks:
+        raise PartitionError(f"expected {nranks} pieces, got {len(pieces)}")
+    dim = pieces[0].dim
+    max_level = max(p.max_level for p in pieces)
+
+    # Step 1: agree on global leaf count and per-rank prefix offsets.
+    counts = comm.allgather([len(p) for p in pieces], nbytes_each=8)
+    total = sum(counts)
+    if total == 0:
+        raise PartitionError("cannot partition an empty forest")
+
+    # Step 2: each rank walks its (sorted) leaves and assigns each to the
+    # destination rank that owns its global Z-order index.
+    bounds = [round(i * total / nranks) for i in range(nranks + 1)]
+    prefix = np.cumsum([0] + counts)
+    sends: List[dict] = []
+    for r, piece in enumerate(pieces):
+        outbox: dict = {}
+        start = int(prefix[r])
+        for j in range(len(piece)):
+            gidx = start + j
+            dst = int(np.searchsorted(bounds, gidx, side="right")) - 1
+            dst = min(dst, nranks - 1)
+            outbox.setdefault(dst, []).append(
+                (int(piece.locs[j]), piece.payloads[j].copy())
+            )
+        sends.append(outbox)
+
+    moved = sum(
+        len(batch)
+        for r, outbox in enumerate(sends)
+        for dst, batch in outbox.items()
+        if dst != r
+    )
+
+    recvs = comm.alltoallv(
+        sends, nbytes_of=lambda batch: len(batch) * OCTANT_RECORD_SIZE
+    )
+
+    # Step 3: each rank rebuilds its linear octree from what it received and
+    # pays the memory writes for storing the new octants.
+    new_pieces: List[LinearOctree] = []
+    for r, inbox in enumerate(recvs):
+        locs: List[int] = []
+        rows: List[np.ndarray] = []
+        foreign = 0
+        for src, batch in inbox.items():
+            for loc, payload in batch:
+                locs.append(loc)
+                rows.append(payload)
+            if src != r:
+                foreign += len(batch)
+        ctx = comm.ranks[r]
+        dram = ctx.resources.get("dram")
+        if dram is not None and foreign:
+            # storing a received octant costs one DRAM record write
+            ctx.clock.advance(
+                foreign * 2 * dram.spec.write_latency_ns, Category.MEM_DRAM
+            )
+        payloads = np.vstack(rows) if rows else None
+        new_pieces.append(LinearOctree(dim, locs, payloads, max_level=max_level))
+
+    sizes = [len(p) for p in new_pieces]
+    if sum(sizes) != total:
+        raise PartitionError(
+            f"octants lost in flight: had {total}, now {sum(sizes)}"
+        )
+    return PartitionResult(
+        pieces=new_pieces,
+        octants_moved=moved,
+        bytes_moved=moved * OCTANT_RECORD_SIZE,
+    )

@@ -1,0 +1,146 @@
+"""SPMD rank contexts and a simulated communicator.
+
+A :class:`RankContext` bundles what one MPI rank owns: its id, its simulated
+clock, and (filled in by :mod:`repro.parallel.cluster`) its memory arenas.
+The :class:`SimCommunicator` implements the collectives the meshing driver
+needs — barrier, allreduce, allgather, alltoallv — moving Python payloads
+directly (one process) while charging each endpoint's clock with the network
+model.
+
+Synchronisation semantics: a collective acts as a barrier.  Every
+participating clock is first advanced to the maximum ``now_ns`` (ranks wait
+for the slowest), then charged the collective's cost.  This is what makes
+"execution time = any rank's clock after the final barrier" equal the
+makespan the paper measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.nvbm.clock import Category, SimClock
+from repro.nvbm.failure import FailureInjector
+from repro.parallel.network import Network
+
+
+@dataclass
+class RankContext:
+    """Everything one simulated MPI rank owns."""
+
+    rank: int
+    clock: SimClock = field(default_factory=SimClock)
+    injector: FailureInjector = field(default_factory=FailureInjector)
+    #: filled by SimulatedCluster: "dram", "nvbm" arenas, storage devices...
+    resources: Dict[str, Any] = field(default_factory=dict)
+    node: int = 0
+    alive: bool = True
+
+
+class SimCommunicator:
+    """MPI-flavoured collectives over in-process rank contexts."""
+
+    def __init__(self, ranks: Sequence[RankContext], network: Network):
+        if not ranks:
+            raise ValueError("communicator needs at least one rank")
+        self.ranks = list(ranks)
+        self.network = network
+
+    @property
+    def size(self) -> int:
+        return len(self.ranks)
+
+    def _live(self) -> List[RankContext]:
+        return [r for r in self.ranks if r.alive]
+
+    # -- synchronisation ---------------------------------------------------------
+
+    def barrier(self) -> float:
+        """Advance every live rank to the slowest, charge barrier cost.
+
+        Returns the synchronised time (ns).
+        """
+        live = self._live()
+        high = max(r.clock.now_ns for r in live)
+        cost = self.network.barrier_ns(len(live))
+        for r in live:
+            wait = high - r.clock.now_ns
+            if wait > 0:
+                r.clock.advance(wait, Category.COMM)
+            r.clock.advance(cost, Category.COMM)
+        return high + cost
+
+    # -- collectives --------------------------------------------------------------
+
+    def allreduce(self, values: Sequence[Any],
+                  op: Callable[[Any, Any], Any] = lambda a, b: a + b,
+                  nbytes: int = 8) -> Any:
+        """Reduce one value per rank to a single result known by all."""
+        live = self._live()
+        if len(values) != len(live):
+            raise ValueError(
+                f"expected {len(live)} values (one per live rank), got {len(values)}"
+            )
+        self.barrier()
+        cost = self.network.collective_ns(nbytes, len(live))
+        for r in live:
+            r.clock.advance(cost, Category.COMM)
+        acc = values[0]
+        for v in values[1:]:
+            acc = op(acc, v)
+        return acc
+
+    def allgather(self, values: Sequence[Any], nbytes_each: int = 8) -> List[Any]:
+        """Every rank contributes one value; all ranks see the full list."""
+        live = self._live()
+        if len(values) != len(live):
+            raise ValueError("one value per live rank required")
+        self.barrier()
+        cost = self.network.collective_ns(nbytes_each * len(live), len(live))
+        for r in live:
+            r.clock.advance(cost, Category.COMM)
+        return list(values)
+
+    def alltoallv(self, sends: Sequence[Dict[int, Any]],
+                  nbytes_of: Callable[[Any], int]) -> List[Dict[int, Any]]:
+        """Each rank sends a payload dict ``{dst: payload}``.
+
+        Returns per-rank receive dicts ``{src: payload}``.  Each endpoint is
+        charged latency per message plus bytes/bandwidth; self-sends are
+        free.
+        """
+        live = self._live()
+        live_ids = {r.rank for r in live}
+        if len(sends) != len(live):
+            raise ValueError("one send-dict per live rank required")
+        self.barrier()
+        recvs: List[Dict[int, Any]] = [dict() for _ in live]
+        pos = {r.rank: i for i, r in enumerate(live)}
+        for i, (ctx, outbox) in enumerate(zip(live, sends)):
+            for dst, payload in outbox.items():
+                if dst not in live_ids:
+                    raise ValueError(f"rank {ctx.rank} sends to dead/absent rank {dst}")
+                if dst == ctx.rank:
+                    recvs[i][ctx.rank] = payload
+                    continue
+                nbytes = nbytes_of(payload)
+                cost = self.network.p2p_ns(nbytes)
+                ctx.clock.advance(cost, Category.COMM)
+                live[pos[dst]].clock.advance(cost, Category.COMM)
+                recvs[pos[dst]][ctx.rank] = payload
+        self.barrier()
+        return recvs
+
+    # -- time accounting -----------------------------------------------------
+
+    def makespan_ns(self) -> float:
+        """Current simulated time of the slowest live rank."""
+        return max(r.clock.now_ns for r in self._live())
+
+    def phase_breakdown(self) -> Dict[str, float]:
+        """Max-over-ranks time per phase label (Fig 7/8b material)."""
+        out: Dict[str, float] = {}
+        for r in self._live():
+            for phase, t in r.clock.by_phase.items():
+                out[phase] = max(out.get(phase, 0.0), t)
+        return out

@@ -1,0 +1,98 @@
+"""VOF transport: upwind advection + analytic sharpening.
+
+Each step does a real finite-volume sweep — for every leaf, read the upwind
+face neighbor (through the tree's neighbor resolution, i.e. Gerris'
+``ftt_cell_neighbor``) and write back an updated VOF — so the memory access
+pattern is that of an actual solver: ~2 reads and 1 write per leaf.
+
+Because the velocity is prescribed, pure first-order upwinding would smear
+the interface across the band within a few steps; after the transport sweep
+the colour field is *sharpened* against the analytic geometry (a stand-in
+for the geometric VOF reconstruction a production solver performs).  The
+blend keeps both properties the evaluation needs: solver-like traffic and a
+crisp, moving interface."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.config import SolverConfig
+from repro.octree import morton
+from repro.octree.neighbors import leaf_neighbor
+from repro.octree.store import AdaptiveTree
+from repro.solver.fields import PRESSURE, U, V, VOF, FieldView
+from repro.solver.geometry import DropletGeometry
+
+
+def initialize_vof(tree: AdaptiveTree, geometry: DropletGeometry,
+                   t: float = 0.0) -> None:
+    """Fill the VOF and velocity fields from the geometry at time ``t``."""
+    fields = FieldView(tree)
+    dim = tree.dim
+    for loc in tree.leaves():
+        lo, hi = morton.cell_bounds(loc, dim)
+        vof = geometry.vof_of_cell(lo, hi, t)
+        vel = geometry.velocity(morton.cell_center(loc, dim), t)
+        fields.set_many(loc, {VOF: vof, U: vel[0], V: vel[-1]})
+
+
+def advect_vof(tree: AdaptiveTree, geometry: DropletGeometry,
+               config: SolverConfig, t: float,
+               sharpen: float = 0.7, always_write: bool = False) -> Dict[str, int]:
+    """One transport step ending at time ``t``; returns access counters.
+
+    ``sharpen`` in [0, 1] blends the upwinded value toward the analytic
+    fraction (1 = fully analytic re-initialisation).  ``always_write``
+    disables the unchanged-cell write skip — the behaviour of a solver that
+    does not diff-check its updates (used by the write-intensity study).
+    """
+    if not 0.0 <= sharpen <= 1.0:
+        raise ValueError("sharpen must be in [0, 1]")
+    dim = tree.dim
+    fields = FieldView(tree)
+    vertical_axis = dim - 1
+    # Gather phase: read each leaf and its upwind (below) neighbor.
+    updates: Dict[int, float] = {}
+    current: Dict[int, tuple] = {}
+    reads = 0
+    for loc in tree.leaves():
+        payload = tree.get_payload(loc)
+        current[loc] = payload
+        vof = payload[VOF]
+        reads += 1
+        below = leaf_neighbor(tree, loc, vertical_axis, -1)
+        if below is not None and tree.is_leaf(below):
+            vof_up = tree.get_payload(below)[VOF]
+            reads += 1
+        else:
+            vof_up = 0.0  # inflow of gas at the bottom boundary, except the nozzle
+            lo, hi = morton.cell_bounds(loc, dim)
+            center = morton.cell_center(loc, dim)
+            if geometry.axis_distance(center) <= config.nozzle_radius:
+                vof_up = 1.0  # the nozzle keeps feeding liquid
+        h = morton.cell_size(loc, dim)
+        speed = geometry.velocity(morton.cell_center(loc, dim), t)[-1]
+        cfl = min(1.0, speed * config.dt / h)
+        transported = vof + cfl * (vof_up - vof)
+        lo, hi = morton.cell_bounds(loc, dim)
+        analytic = geometry.vof_of_cell(lo, hi, t)
+        updates[loc] = (1.0 - sharpen) * transported + sharpen * analytic
+    # Scatter phase: write only cells whose state actually changed.  Far
+    # from the interface nothing moves, so most octants go untouched — the
+    # step-to-step overlap the multi-version sharing exploits (Fig 3).
+    writes = 0
+    skipped = 0
+    for loc, vof in updates.items():
+        vel = geometry.velocity(morton.cell_center(loc, dim), t)
+        old = current[loc]
+        if (
+            not always_write
+            and abs(old[VOF] - vof) < 1e-12
+            and abs(old[U] - vel[0]) < 1e-12
+            and abs(old[V] - vel[-1]) < 1e-12
+        ):
+            skipped += 1
+            continue
+        tree.set_payload(loc, (vof, old[PRESSURE], vel[0], vel[-1]))
+        writes += 1
+    return {"reads": reads, "writes": writes, "skipped": skipped}

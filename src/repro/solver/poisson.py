@@ -1,0 +1,87 @@
+"""Pressure solve on the adaptive leaf graph.
+
+A projection-style Poisson solve: assemble the cell-centred finite-volume
+Laplacian over the leaves (face terms through the neighbor resolution, with
+the standard distance-weighted transmissibility across level jumps) and
+solve ``-div(grad p) = f`` with scipy's sparse machinery.  The source is the
+VOF "divergence" surrogate — liquid cells push, gas cells don't — which
+produces pressure fields that look like surface-tension-driven flow without
+a momentum equation.
+
+This is the read-heavy phase of the workload (many neighbor reads per leaf,
+one write), complementing the write-heavy refinement phase; together they
+reproduce the 41-72 % write mix the paper measured (§1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.octree import morton
+from repro.octree.neighbors import face_neighbor_leaves
+from repro.octree.store import AdaptiveTree
+from repro.solver.fields import PRESSURE, VOF, FieldView
+
+
+def pressure_solve(tree: AdaptiveTree, rtol: float = 1e-8) -> Dict[str, float]:
+    """Solve for pressure over the leaves and write it back.
+
+    Returns diagnostics: residual norm and matrix size.
+    """
+    fields = FieldView(tree)
+    leaves: List[int] = sorted(tree.leaves())
+    n = len(leaves)
+    if n == 0:
+        return {"n": 0, "residual": 0.0}
+    idx = {loc: i for i, loc in enumerate(leaves)}
+    dim = tree.dim
+
+    rows: List[int] = []
+    cols: List[int] = []
+    vals: List[float] = []
+    rhs = np.zeros(n)
+    diag = np.zeros(n)
+
+    for loc in leaves:
+        i = idx[loc]
+        h_i = morton.cell_size(loc, dim)
+        vof = fields.get(loc, VOF)
+        rhs[i] = vof  # liquid pushes; with p=0 on the boundary this gives a
+        # positive pressure hill centred on the liquid
+        for other, _axis, _direction in face_neighbor_leaves(tree, loc):
+            j = idx[other]
+            h_j = morton.cell_size(other, dim)
+            # face area between two leaves is the smaller face
+            area = min(h_i, h_j) ** (dim - 1)
+            dist = 0.5 * (h_i + h_j)
+            tcoef = area / dist
+            rows.append(i)
+            cols.append(j)
+            vals.append(-tcoef)
+            diag[i] += tcoef
+    # Dirichlet p=0 on the domain boundary, applied through the diagonal so
+    # the system is non-singular.
+    for loc in leaves:
+        i = idx[loc]
+        h_i = morton.cell_size(loc, dim)
+        for axis in range(dim):
+            for direction in (-1, 1):
+                if morton.neighbor_of(loc, dim, axis, direction) is None:
+                    diag[i] += h_i ** (dim - 1) / (0.5 * h_i)
+    rows.extend(range(n))
+    cols.extend(range(n))
+    vals.extend(diag)
+    a = sp.csr_matrix((vals, (rows, cols)), shape=(n, n))
+
+    p, info = spla.cg(a, rhs, rtol=rtol, maxiter=10 * n)
+    if info != 0:  # pragma: no cover - CG on an SPD M-matrix converges
+        p = spla.spsolve(a.tocsc(), rhs)
+    residual = float(np.linalg.norm(a @ p - rhs))
+
+    for loc in leaves:
+        fields.set(loc, PRESSURE, float(p[idx[loc]]))
+    return {"n": float(n), "residual": residual}

@@ -1,0 +1,207 @@
+"""A second AMR workload: an expanding seismic-style wavefront.
+
+The paper's §6 future work is to "test PM-octree with other flow solvers
+and simulations requiring adaptive mesh refinement"; its related work cites
+octree-based earthquake ground-motion modelling (Kim et al.).  This module
+provides such a workload with a *different* access pattern from droplet
+ejection: an annular wavefront expands radially from an epicenter, so the
+hot region is a growing ring that sweeps the whole domain — broader, faster
+moving, and without the quiescent tail of the jet.
+
+The field is a prescribed radial pulse
+
+    u(x, t) = exp(-((|x - epicenter| - c*t) / width)^2)
+
+stored in payload slot 0; refinement follows the pulse (|u| above a
+threshold), and the per-step sweep writes every cell whose value changed —
+the same solver-shaped traffic the droplet workload produces, through the
+same :class:`~repro.octree.store.AdaptiveTree` protocol.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.nvbm.clock import SimClock
+from repro.octree import morton
+from repro.octree.balance import balance_tree
+from repro.octree.refine import Action, RefinementEngine
+from repro.octree.store import AdaptiveTree, Payload
+
+
+@dataclass
+class WaveConfig:
+    """Parameters of the expanding-wavefront workload."""
+
+    dim: int = 2
+    min_level: int = 2
+    max_level: int = 6
+    epicenter: Tuple[float, ...] = (0.5, 0.5)
+    speed: float = 0.6       #: wavefront speed (domain units / time unit)
+    width: float = 0.05      #: Gaussian pulse width
+    threshold: float = 0.1   #: refine where u exceeds this
+    dt: float = 0.02
+
+    def __post_init__(self) -> None:
+        if len(self.epicenter) != self.dim:
+            raise ValueError("epicenter dimensionality mismatch")
+        if self.speed <= 0 or self.width <= 0:
+            raise ValueError("speed and width must be positive")
+
+
+class WaveField:
+    """The analytic pulse and its cell-averaged evaluation."""
+
+    def __init__(self, config: WaveConfig):
+        self.config = config
+
+    def value(self, point, t: float) -> float:
+        r = math.dist(point, self.config.epicenter)
+        z = (r - self.config.speed * t) / self.config.width
+        return math.exp(-z * z)
+
+    def cell_value(self, loc: int, t: float) -> float:
+        """Pulse amplitude at the cell center (adequate: the pulse is wider
+        than the finest cells)."""
+        return self.value(morton.cell_center(loc, self.config.dim), t)
+
+    def front_radius(self, t: float) -> float:
+        return self.config.speed * t
+
+
+@dataclass
+class WaveStepReport:
+    step: int
+    t: float
+    leaves: int
+    refined: int
+    coarsened: int
+    cells_written: int
+    front_radius: float
+
+
+class WaveSimulation:
+    """Time-stepping driver for the wavefront workload.
+
+    Mirrors :class:`~repro.solver.simulation.DropletSimulation`: adapt to
+    the moving feature, sweep the field, invoke the persistence hook.
+    """
+
+    def __init__(self, tree: AdaptiveTree, config: Optional[WaveConfig] = None,
+                 clock: Optional[SimClock] = None,
+                 persistence: Optional[Callable[["WaveSimulation"], None]] = None):
+        self.tree = tree
+        self.config = config or WaveConfig(dim=tree.dim)
+        if self.config.dim != tree.dim:
+            raise ValueError("config dim does not match tree dim")
+        self.field = WaveField(self.config)
+        self.clock = clock
+        self.persistence = persistence
+        self.step_count = 0
+        self.t = 0.0
+        self.history: List[WaveStepReport] = []
+        if hasattr(tree, "register_feature"):
+            tree.register_feature(self._next_step_feature)
+
+    def _next_step_feature(self, loc: int, payload: Payload) -> bool:
+        """Will this octant change next step? (the §3.3 feature function)"""
+        t_next = self.t + self.config.dt
+        return abs(self.field.cell_value(loc, t_next) - payload[0]) > 1e-6
+
+    def _criterion(self, t: float):
+        cfg = self.config
+        fld = self.field
+
+        def criterion(loc: int, payload: Payload) -> Action:
+            level = morton.level_of(loc, cfg.dim)
+            # refine wherever the pulse (evaluated over the cell, padded by
+            # one cell width) is significant
+            lo, hi = morton.cell_bounds(loc, cfg.dim)
+            h = morton.cell_size(loc, cfg.dim)
+            center = morton.cell_center(loc, cfg.dim)
+            r = math.dist(center, cfg.epicenter)
+            front = fld.front_radius(t)
+            near = abs(r - front) < (cfg.width * 2.5 + h)
+            if near and level < cfg.max_level:
+                return Action.REFINE
+            if not near and level > cfg.min_level:
+                return Action.COARSEN
+            return Action.KEEP
+
+        return criterion
+
+    def _phase(self, name: str):
+        from contextlib import nullcontext
+
+        return self.clock.phase(name) if self.clock is not None \
+            else nullcontext()
+
+    def construct(self) -> None:
+        with self._phase("construct"):
+            frontier = [
+                l for l in self.tree.leaves()
+                if morton.level_of(l, self.tree.dim) < self.config.min_level
+            ]
+            while frontier:
+                nxt = []
+                for loc in frontier:
+                    for c in self.tree.refine(loc):
+                        if morton.level_of(c, self.tree.dim) < self.config.min_level:
+                            nxt.append(c)
+                frontier = nxt
+            self._adapt()
+            balance_tree(self.tree, max_level=self.config.max_level)
+            self._sweep()
+
+    def _adapt(self):
+        engine = RefinementEngine(
+            self._criterion(self.t),
+            min_level=self.config.min_level,
+            max_level=self.config.max_level,
+            balance=False,
+        )
+        return engine.adapt(self.tree, rounds=self.config.max_level)
+
+    def _sweep(self) -> int:
+        """Write the pulse value into every cell whose value changed."""
+        written = 0
+        for loc in list(self.tree.leaves()):
+            new = self.field.cell_value(loc, self.t)
+            payload = self.tree.get_payload(loc)
+            if abs(payload[0] - new) > 1e-12:
+                self.tree.set_payload(
+                    loc, (new, payload[1], payload[2], payload[3])
+                )
+                written += 1
+        return written
+
+    def step(self) -> WaveStepReport:
+        self.step_count += 1
+        self.t = self.step_count * self.config.dt
+        with self._phase("refine"):
+            res = self._adapt()
+        with self._phase("balance"):
+            balance_tree(self.tree, max_level=self.config.max_level)
+        with self._phase("solve"):
+            written = self._sweep()
+        if self.persistence is not None:
+            with self._phase("persist"):
+                self.persistence(self)
+        report = WaveStepReport(
+            step=self.step_count,
+            t=self.t,
+            leaves=sum(1 for _ in self.tree.leaves()),
+            refined=res.refined,
+            coarsened=res.coarsened,
+            cells_written=written,
+            front_radius=self.field.front_radius(self.t),
+        )
+        self.history.append(report)
+        return report
+
+    def run(self, steps: int) -> List[WaveStepReport]:
+        if self.step_count == 0 and self.tree.num_octants() <= 1:
+            self.construct()
+        return [self.step() for _ in range(steps)]

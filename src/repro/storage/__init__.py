@@ -1,0 +1,15 @@
+"""Block storage substrate for the baselines.
+
+The in-core baseline writes snapshot *files* through a filesystem on a
+page-granular block device; the Etree out-of-core baseline stores octant
+pages behind a B-tree index.  Both devices charge the simulated clock with
+I/O-bus latencies (per-page software+media latency plus a bandwidth term) —
+orders of magnitude above memory latencies, which is the paper's core
+argument for why neither design suits NVBM.
+"""
+
+from repro.storage.block import BlockDevice
+from repro.storage.filesystem import SimFile, SimFileSystem
+from repro.storage.btree import BTree
+
+__all__ = ["BTree", "BlockDevice", "SimFile", "SimFileSystem"]

@@ -1,0 +1,79 @@
+"""Page-granular block device with an I/O-bus cost model.
+
+Cost of one page access: ``latency + page_size / bandwidth``.  The latency
+term models the software stack (syscall, filesystem, driver) plus media
+access; the bandwidth term is the transfer itself.  Pages are durable —
+a block device survives crashes by definition (it *is* the paper's
+"non-volatile storage medium on the I/O bus").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.config import BlockDeviceSpec
+from repro.errors import StorageError
+from repro.nvbm.clock import Category, SimClock
+
+
+@dataclass
+class BlockStats:
+    page_reads: int = 0
+    page_writes: int = 0
+
+
+class BlockDevice:
+    """A durable array of fixed-size pages, charged at I/O-bus cost."""
+
+    def __init__(self, spec: BlockDeviceSpec, clock: SimClock,
+                 capacity_pages: int = 1 << 24):
+        self.spec = spec
+        self.clock = clock
+        self.capacity_pages = capacity_pages
+        self.stats = BlockStats()
+        self._pages: Dict[int, bytes] = {}
+        self._next_page = 0
+
+    @property
+    def page_size(self) -> int:
+        return self.spec.page_size
+
+    def _charge(self, latency_us: float) -> None:
+        transfer_ns = self.spec.page_size / (self.spec.bandwidth_gbps * 1e9) * 1e9
+        self.clock.advance(latency_us * 1e3 + transfer_ns, Category.IO)
+
+    def alloc_page(self) -> int:
+        """Reserve a fresh page id (no I/O charged: allocation is metadata)."""
+        if self._next_page >= self.capacity_pages:
+            raise StorageError(f"{self.spec.name}: device full")
+        pid = self._next_page
+        self._next_page += 1
+        return pid
+
+    def write_page(self, page_id: int, data: bytes) -> None:
+        """Store one page (padded to page_size; oversize is an error)."""
+        if page_id < 0 or page_id >= self._next_page:
+            raise StorageError(f"{self.spec.name}: page {page_id} not allocated")
+        if len(data) > self.spec.page_size:
+            raise StorageError(
+                f"{self.spec.name}: {len(data)} bytes exceeds page size "
+                f"{self.spec.page_size}"
+            )
+        self.stats.page_writes += 1
+        self._charge(self.spec.write_latency_us)
+        self._pages[page_id] = data
+
+    def read_page(self, page_id: int) -> bytes:
+        """Load one page."""
+        if page_id not in self._pages:
+            raise StorageError(f"{self.spec.name}: page {page_id} never written")
+        self.stats.page_reads += 1
+        self._charge(self.spec.read_latency_us)
+        return self._pages[page_id]
+
+    def crash(self) -> None:
+        """Block devices are durable: crash is a no-op (kept for symmetry)."""
+
+    def bytes_used(self) -> int:
+        return len(self._pages) * self.spec.page_size

@@ -1,0 +1,252 @@
+"""An on-device B-tree: the Etree library's page index.
+
+Etree assigns each octant a Z-value key and finds its page through a B-tree
+(§2).  This B-tree keeps *all* nodes as serialized pages on the block
+device, so every search pays ``O(log_B n)`` page reads and every insert a
+few page writes — the "additional memory latency" §1 says index-based
+out-of-core designs impose when pointed at NVBM.
+
+Implementation notes
+--------------------
+* Classic CLRS B-tree with preemptive splitting on the way down; keys are
+  unsigned 64-bit integers, values signed 64-bit.
+* Deletion is by tombstone (the common LSM-ish simplification): the key
+  stays, the value becomes :data:`TOMBSTONE`, lookups and scans skip it.
+  Etree's own coarsening rewrites pages similarly rather than rebalancing.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import StorageError
+from repro.storage.block import BlockDevice
+
+TOMBSTONE = -(1 << 62)
+
+_HEADER = struct.Struct("<BH")  # leaf flag, nkeys
+
+
+@dataclass
+class _Node:
+    page_id: int
+    leaf: bool
+    keys: List[int] = field(default_factory=list)
+    values: List[int] = field(default_factory=list)  # leaf payloads
+    children: List[int] = field(default_factory=list)  # internal child pages
+
+
+class BTree:
+    """B-tree of int64 values keyed by uint64 keys, resident on a device."""
+
+    def __init__(self, device: BlockDevice, min_degree: Optional[int] = None,
+                 cache_internal: bool = False):
+        """``cache_internal`` keeps internal nodes in a volatile buffer pool
+        (as Etree's own buffer manager does), so a lookup only pays device
+        I/O for the leaf page.  The cache is write-through: every update
+        still writes the device, and losing the cache loses nothing."""
+        self.device = device
+        if min_degree is None:
+            # Entry cost: key (8) + value-or-child (8); headroom for header.
+            per_entry = 16
+            min_degree = max(2, (device.page_size - 64) // (2 * per_entry) // 2)
+        if min_degree < 2:
+            raise ValueError("min_degree must be at least 2")
+        self.t = min_degree
+        self._count = 0
+        self.cache_internal = cache_internal
+        self._pool: dict = {}
+        root = _Node(page_id=self.device.alloc_page(), leaf=True)
+        self._store(root)
+        self._root_page = root.page_id
+
+    # -- node (de)serialization --------------------------------------------------
+
+    def _store(self, node: _Node) -> None:
+        n = len(node.keys)
+        parts = [_HEADER.pack(1 if node.leaf else 0, n)]
+        parts.append(struct.pack(f"<{n}Q", *node.keys))
+        if node.leaf:
+            parts.append(struct.pack(f"<{n}q", *node.values))
+        else:
+            parts.append(struct.pack(f"<{n + 1}I", *node.children))
+        data = b"".join(parts)
+        if len(data) > self.device.page_size:
+            raise StorageError(
+                f"B-tree node overflow: {len(data)} bytes > page "
+                f"({self.device.page_size}); min_degree too large"
+            )
+        self.device.write_page(node.page_id, data)
+        if self.cache_internal:
+            if node.leaf:
+                self._pool.pop(node.page_id, None)  # a leaf may replace a
+                # split internal page id? (never happens, but stay safe)
+            else:
+                self._pool[node.page_id] = data
+
+    def _load(self, page_id: int) -> _Node:
+        data = self._pool.get(page_id) if self.cache_internal else None
+        if data is None:
+            data = self.device.read_page(page_id)
+        leaf, n = _HEADER.unpack_from(data, 0)
+        off = _HEADER.size
+        keys = list(struct.unpack_from(f"<{n}Q", data, off))
+        off += 8 * n
+        node = _Node(page_id=page_id, leaf=bool(leaf), keys=keys)
+        if leaf:
+            node.values = list(struct.unpack_from(f"<{n}q", data, off))
+        else:
+            node.children = list(struct.unpack_from(f"<{n + 1}I", data, off))
+        return node
+
+    # -- search ----------------------------------------------------------------
+
+    def get(self, key: int) -> Optional[int]:
+        """Value for ``key``, or None when absent/tombstoned."""
+        node = self._load(self._root_page)
+        while True:
+            i = self._lower_bound(node.keys, key)
+            if node.leaf:
+                if i < len(node.keys) and node.keys[i] == key:
+                    v = node.values[i]
+                    return None if v == TOMBSTONE else v
+                return None
+            if i < len(node.keys) and node.keys[i] == key:
+                i += 1  # equal keys in internal nodes route right
+            node = self._load(node.children[i])
+
+    def __contains__(self, key: int) -> bool:
+        return self.get(key) is not None
+
+    @staticmethod
+    def _lower_bound(keys: List[int], key: int) -> int:
+        import bisect
+
+        return bisect.bisect_left(keys, key)
+
+    # -- insert ---------------------------------------------------------------
+
+    def put(self, key: int, value: int) -> None:
+        """Insert or overwrite."""
+        if value == TOMBSTONE:
+            raise ValueError("TOMBSTONE is reserved")
+        root = self._load(self._root_page)
+        if len(root.keys) == 2 * self.t - 1:
+            new_root = _Node(page_id=self.device.alloc_page(), leaf=False,
+                             children=[root.page_id])
+            self._split_child(new_root, 0, root)
+            self._root_page = new_root.page_id
+            root = new_root
+        self._insert_nonfull(root, key, value)
+
+    def _split_child(self, parent: _Node, i: int, child: _Node) -> None:
+        # Routing invariant everywhere: keys >= router live in the right
+        # subtree (searches send equal keys right).
+        t = self.t
+        right = _Node(page_id=self.device.alloc_page(), leaf=child.leaf)
+        if child.leaf:
+            # B+-tree style: values never move up; the router is a *copy* of
+            # the right leaf's first key.
+            router = child.keys[t]
+            right.keys = child.keys[t:]
+            right.values = child.values[t:]
+            child.keys = child.keys[:t]
+            child.values = child.values[:t]
+        else:
+            # Internal keys are pure routers, so the median moves up.
+            router = child.keys[t - 1]
+            right.keys = child.keys[t:]
+            right.children = child.children[t:]
+            child.keys = child.keys[: t - 1]
+            child.children = child.children[:t]
+        parent.keys.insert(i, router)
+        parent.children.insert(i + 1, right.page_id)
+        self._store(child)
+        self._store(right)
+        self._store(parent)
+
+    def _insert_nonfull(self, node: _Node, key: int, value: int) -> None:
+        while True:
+            i = self._lower_bound(node.keys, key)
+            if node.leaf:
+                if i < len(node.keys) and node.keys[i] == key:
+                    if node.values[i] == TOMBSTONE:
+                        self._count += 1
+                    node.values[i] = value
+                else:
+                    node.keys.insert(i, key)
+                    node.values.insert(i, value)
+                    self._count += 1
+                self._store(node)
+                return
+            if i < len(node.keys) and node.keys[i] == key:
+                i += 1
+            child = self._load(node.children[i])
+            if len(child.keys) == 2 * self.t - 1:
+                self._split_child(node, i, child)
+                # re-route after the split (equal keys go right)
+                if key >= node.keys[i]:
+                    child = self._load(node.children[i + 1])
+                else:
+                    child = self._load(node.children[i])
+            node = child
+
+    # -- delete (tombstone) -------------------------------------------------------
+
+    def delete(self, key: int) -> bool:
+        """Tombstone a key; returns False when it was absent."""
+        node = self._load(self._root_page)
+        while True:
+            i = self._lower_bound(node.keys, key)
+            if node.leaf:
+                if i < len(node.keys) and node.keys[i] == key:
+                    if node.values[i] == TOMBSTONE:
+                        return False
+                    node.values[i] = TOMBSTONE
+                    self._store(node)
+                    self._count -= 1
+                    return True
+                return False
+            if i < len(node.keys) and node.keys[i] == key:
+                i += 1
+            node = self._load(node.children[i])
+
+    # -- scans -------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._count
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        """All live (key, value) pairs in key order."""
+        yield from self.range(0, (1 << 64) - 1)
+
+    def range(self, lo: int, hi: int) -> Iterator[Tuple[int, int]]:
+        """Live pairs with ``lo <= key <= hi`` in key order."""
+        stack: List[Tuple[int, int]] = [(self._root_page, 0)]
+        # iterative in-order walk restricted to [lo, hi]
+        def walk(page_id: int) -> Iterator[Tuple[int, int]]:
+            node = self._load(page_id)
+            if node.leaf:
+                for k, v in zip(node.keys, node.values):
+                    if lo <= k <= hi and v != TOMBSTONE:
+                        yield k, v
+                return
+            for i, k in enumerate(node.keys):
+                if k >= lo:
+                    yield from walk(node.children[i])
+                if k > hi:
+                    return
+            yield from walk(node.children[len(node.keys)])
+
+        yield from walk(self._root_page)
+
+    def height(self) -> int:
+        """Levels from root to leaf (1 for a single-node tree)."""
+        h = 1
+        node = self._load(self._root_page)
+        while not node.leaf:
+            node = self._load(node.children[0])
+            h += 1
+        return h

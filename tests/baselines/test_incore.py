@@ -1,0 +1,136 @@
+"""In-core baseline: meshing + snapshot checkpoint/restore."""
+
+import pytest
+
+from repro.config import DRAM_SPEC, NVBM_FS_SPEC, PFS_SPEC
+from repro.baselines.incore import CheckpointPolicy, InCoreOctree
+from repro.errors import RecoveryError
+from repro.nvbm.arena import MemoryArena
+from repro.nvbm.clock import Category, SimClock
+from repro.nvbm.pointers import ARENA_DRAM
+from repro.octree import morton
+from repro.octree.store import validate_tree
+from repro.storage.block import BlockDevice
+from repro.storage.filesystem import SimFileSystem
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+@pytest.fixture
+def arena(clock):
+    return MemoryArena(ARENA_DRAM, DRAM_SPEC, clock, 1 << 14)
+
+
+@pytest.fixture
+def fs(clock):
+    return SimFileSystem(BlockDevice(NVBM_FS_SPEC, clock))
+
+
+def _build(arena, dim=2):
+    t = InCoreOctree(arena, dim=dim)
+    for _ in range(2):
+        for leaf in list(t.leaves()):
+            t.refine(leaf)
+    for i, leaf in enumerate(sorted(t.leaves())):
+        t.set_payload(leaf, (float(i), 0.0, 0.0, 0.0))
+    return t
+
+
+def test_requires_volatile_arena(clock):
+    from repro.config import NVBM_SPEC
+    from repro.nvbm.pointers import ARENA_NVBM
+
+    nvbm = MemoryArena(ARENA_NVBM, NVBM_SPEC, clock, 64)
+    with pytest.raises(ValueError):
+        InCoreOctree(nvbm)
+
+
+def test_checkpoint_restore_roundtrip(clock, arena, fs):
+    t = _build(arena)
+    sig = {l: t.get_payload(l) for l in t.leaves()}
+    written = t.checkpoint(fs, "snap.gfs")
+    assert written > 0
+    # crash: DRAM gone
+    arena.crash()
+    fresh = MemoryArena(ARENA_DRAM, DRAM_SPEC, clock, 1 << 14)
+    t2 = InCoreOctree.restore_from(fs, "snap.gfs", fresh)
+    assert {l: t2.get_payload(l) for l in t2.leaves()} == sig
+    validate_tree(t2)
+
+
+def test_checkpoint_cost_scales_with_tree(clock, arena, fs):
+    t = _build(arena)
+    io0 = clock.category_ns(Category.IO)
+    small = t.checkpoint(fs, "a.gfs")
+    io_small = clock.category_ns(Category.IO) - io0
+    for _ in range(2):  # grow well past one filesystem page
+        for leaf in list(t.leaves()):
+            t.refine(leaf)
+    io1 = clock.category_ns(Category.IO)
+    big = t.checkpoint(fs, "b.gfs")
+    io_big = clock.category_ns(Category.IO) - io1
+    assert big > small
+    assert io_big > io_small  # full-tree I/O every time: the §1 bottleneck
+
+
+def test_restore_missing_snapshot(fs, arena):
+    with pytest.raises(RecoveryError):
+        InCoreOctree.restore_from(fs, "ghost.gfs", arena)
+
+
+def test_restore_corrupt_snapshot(clock, fs, arena):
+    f = fs.create("bad.gfs")
+    f.append(b"not a snapshot at all")
+    with pytest.raises(RecoveryError):
+        InCoreOctree.restore_from(fs, "bad.gfs", arena)
+
+
+def test_restore_truncated_snapshot(clock, arena, fs):
+    t = _build(arena)
+    t.checkpoint(fs, "snap.gfs")
+    blob = fs.open("snap.gfs").read_all()
+    f = fs.create("trunc.gfs")
+    f.append(blob[: len(blob) // 2])
+    fresh = MemoryArena(ARENA_DRAM, DRAM_SPEC, clock, 1 << 14)
+    with pytest.raises(RecoveryError):
+        InCoreOctree.restore_from(fs, "trunc.gfs", fresh)
+
+
+def test_internal_payloads_survive_roundtrip(clock, arena, fs):
+    t = _build(arena)
+    t.set_payload(morton.ROOT_LOC, (42.0, 0, 0, 0))
+    t.checkpoint(fs, "s.gfs")
+    fresh = MemoryArena(ARENA_DRAM, DRAM_SPEC, clock, 1 << 14)
+    t2 = InCoreOctree.restore_from(fs, "s.gfs", fresh)
+    assert t2.get_payload(morton.ROOT_LOC)[0] == 42.0
+    t2.coarsen(morton.loc_from_coords(1, (0, 0), 2))
+    validate_tree(t2)
+
+
+def test_checkpoint_policy_cadence(clock, arena, fs):
+    t = _build(arena)
+    policy = CheckpointPolicy(fs, interval=10)
+    writes = [policy.maybe_checkpoint(t, step) for step in range(1, 31)]
+    assert sum(1 for w in writes if w > 0) == 3  # steps 10, 20, 30
+    assert policy.latest() == "snapshot.gfs"
+
+
+def test_checkpoint_policy_validates(fs):
+    with pytest.raises(ValueError):
+        CheckpointPolicy(fs, interval=0)
+    with pytest.raises(RecoveryError):
+        CheckpointPolicy(fs).latest()
+
+
+def test_3d_roundtrip(clock, fs):
+    arena = MemoryArena(ARENA_DRAM, DRAM_SPEC, clock, 1 << 14)
+    t = InCoreOctree(arena, dim=3)
+    t.refine(morton.ROOT_LOC)
+    t.checkpoint(fs, "3d.gfs")
+    fresh = MemoryArena(ARENA_DRAM, DRAM_SPEC, clock, 1 << 14)
+    t2 = InCoreOctree.restore_from(fs, "3d.gfs", fresh)
+    assert t2.dim == 3
+    assert t2.num_leaves() == 8

@@ -1,0 +1,51 @@
+"""Core-test fixtures: PM-octrees over small arenas with injectors."""
+
+import pytest
+
+from repro.config import DRAM_SPEC, NVBM_SPEC, PMOctreeConfig
+from repro.core.api import pm_create
+from repro.nvbm.arena import MemoryArena
+from repro.nvbm.clock import SimClock
+from repro.nvbm.failure import FailureInjector
+from repro.nvbm.pointers import ARENA_DRAM, ARENA_NVBM
+
+
+class PMRig:
+    """One rank's worth of PM-octree machinery, crashed and restored at will."""
+
+    def __init__(self, dram_octants=4096, nvbm_octants=1 << 16, dim=2,
+                 **config_kwargs):
+        self.clock = SimClock()
+        self.dram = MemoryArena(ARENA_DRAM, DRAM_SPEC, self.clock, dram_octants)
+        self.nvbm = MemoryArena(ARENA_NVBM, NVBM_SPEC, self.clock, nvbm_octants)
+        self.injector = FailureInjector()
+        config_kwargs.setdefault("dram_capacity_octants", dram_octants)
+        self.config = PMOctreeConfig(**config_kwargs)
+        self.dim = dim
+        self.tree = pm_create(self.dram, self.nvbm, dim=dim,
+                              config=self.config, injector=self.injector)
+
+    def crash(self, seed=0):
+        import numpy as np
+
+        self.dram.crash()
+        self.nvbm.crash(np.random.default_rng(seed))
+
+    def restore(self):
+        from repro.core.api import pm_restore
+
+        self.injector.disarm()
+        self.tree = pm_restore(self.dram, self.nvbm, dim=self.dim,
+                               config=self.config, injector=self.injector)
+        return self.tree
+
+
+@pytest.fixture
+def rig():
+    return PMRig()
+
+
+@pytest.fixture
+def small_dram_rig():
+    """DRAM only fits 64 octants: exercises eviction merging constantly."""
+    return PMRig(dram_octants=64)

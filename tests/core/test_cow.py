@@ -1,0 +1,148 @@
+"""Copy-on-write versioning semantics (§3.2, Fig 4)."""
+
+import pytest
+
+from repro.nvbm.pointers import is_dram, is_nvbm
+from repro.octree import morton
+
+
+def _persisted_two_levels(rig):
+    """Uniform level-2 tree, persisted (so everything is shared in NVBM)."""
+    t = rig.tree
+    for leaf in list(t.leaves()):
+        t.refine(leaf)
+    for leaf in list(t.leaves()):
+        t.refine(leaf)
+    t.persist(transform=False)
+    return t
+
+
+def test_persist_moves_everything_to_nvbm(rig):
+    t = _persisted_two_levels(rig)
+    assert all(is_nvbm(h) for h in t._index.values())
+    assert t.overlap_ratio() == 1.0
+
+
+def test_update_shared_octant_cows_path(rig):
+    t = _persisted_two_levels(rig)
+    before = t.stats.cow_copies
+    leaf = morton.loc_from_coords(2, (3, 3), 2)
+    old_handle = t.handle_of(leaf)
+    t.set_payload(leaf, (9.0, 0.0, 0.0, 0.0))
+    # leaf + its level-1 parent + root copied (Fig 4b)
+    assert t.stats.cow_copies - before == 3
+    assert t.handle_of(leaf) != old_handle
+    # the old record still holds the old payload for V_{i-1}
+    assert rig.nvbm.read_octant(old_handle).payload[0] == 0.0
+    assert t.get_payload(leaf)[0] == 9.0
+    t.check_invariants()
+
+
+def test_second_update_same_leaf_is_in_place(rig):
+    t = _persisted_two_levels(rig)
+    leaf = morton.loc_from_coords(2, (1, 2), 2)
+    t.set_payload(leaf, (1.0, 0, 0, 0))
+    copies = t.stats.cow_copies
+    h = t.handle_of(leaf)
+    t.set_payload(leaf, (2.0, 0, 0, 0))
+    assert t.stats.cow_copies == copies  # no further copies
+    assert t.handle_of(leaf) == h
+
+
+def test_update_sibling_shares_copied_ancestors(rig):
+    t = _persisted_two_levels(rig)
+    a = morton.loc_from_coords(2, (0, 0), 2)
+    b = morton.loc_from_coords(2, (1, 0), 2)  # same level-1 parent
+    t.set_payload(a, (1.0, 0, 0, 0))
+    copies = t.stats.cow_copies  # 3: leaf, parent, root
+    t.set_payload(b, (1.0, 0, 0, 0))
+    # parent and root already current-epoch: only the sibling leaf copies
+    assert t.stats.cow_copies - copies == 1
+
+
+def test_insert_into_shared_tree_propagates(rig):
+    """Fig 4a: inserting octants below a shared leaf copies the root path."""
+    t = _persisted_two_levels(rig)
+    before = t.stats.cow_copies
+    leaf = morton.loc_from_coords(2, (2, 1), 2)
+    kids = t.refine(leaf)
+    assert t.stats.cow_copies - before == 3  # leaf + parent + root
+    assert len(kids) == 4
+    # the new children are current-epoch NVBM records
+    for k in kids:
+        rec = t.get_record(k)
+        assert rec.epoch == t.epoch
+    t.check_invariants()
+
+
+def test_old_version_not_mutated_by_refine(rig):
+    t = _persisted_two_levels(rig)
+    prev_root = rig.nvbm.roots.get("V_prev")
+    prev_set = t.reachable_from(prev_root)
+    leaf = morton.loc_from_coords(2, (0, 3), 2)
+    t.refine(leaf)
+    # every handle V_{i-1} could reach is still allocated and its leaf is
+    # still a leaf from V_{i-1}'s perspective
+    assert t.reachable_from(prev_root) == prev_set
+    old_leaf_handles = [
+        h for h in prev_set if rig.nvbm.read_octant(h).loc == leaf
+    ]
+    assert len(old_leaf_handles) == 1
+    assert rig.nvbm.read_octant(old_leaf_handles[0]).is_leaf
+
+
+def test_coarsen_shared_children_keeps_them_for_vprev(rig):
+    t = _persisted_two_levels(rig)
+    parent = morton.loc_from_coords(1, (0, 0), 2)
+    child_handles = [
+        t.handle_of(c) for c in morton.children_of(parent, 2)
+    ]
+    t.coarsen(parent)
+    # children gone from working version
+    assert all(not t.exists(c) for c in morton.children_of(parent, 2))
+    # but their records survive for V_{i-1}
+    for h in child_handles:
+        assert rig.nvbm.contains(h)
+        assert not rig.nvbm.read_octant(h).is_deleted
+    prev_set = t.reachable_from(rig.nvbm.roots.get("V_prev"))
+    assert set(child_handles) <= prev_set
+    t.check_invariants()
+
+
+def test_coarsen_unshared_children_marked_deleted(rig):
+    t = _persisted_two_levels(rig)
+    leaf = morton.loc_from_coords(2, (3, 0), 2)
+    kids = t.refine(leaf)  # current-epoch children
+    kid_handles = [t.handle_of(k) for k in kids]
+    deleted_before = t.stats.marked_deleted
+    t.coarsen(leaf)
+    assert t.stats.marked_deleted - deleted_before == 4
+    for h in kid_handles:
+        assert rig.nvbm.read_octant(h).is_deleted  # marked, not freed
+        assert rig.nvbm.contains(h)  # §3.2: real deletion only in GC
+
+
+def test_overlap_ratio_declines_with_updates(rig):
+    t = _persisted_two_levels(rig)
+    assert t.overlap_ratio() == 1.0
+    ratios = [1.0]
+    for x in range(4):
+        t.set_payload(morton.loc_from_coords(2, (x, 0), 2), (1.0, 0, 0, 0))
+        ratios.append(t.overlap_ratio())
+    assert ratios == sorted(ratios, reverse=True)
+    assert ratios[-1] < 1.0
+
+
+def test_cow_only_tracks_two_versions(rig):
+    """After persist, superseded records get marked and GC reclaims them:
+    memory does not grow with the number of persisted versions."""
+    t = _persisted_two_levels(rig)
+    t.gc()
+    baseline = rig.nvbm.used
+    leaf = morton.loc_from_coords(2, (2, 2), 2)
+    for step in range(5):
+        t.set_payload(leaf, (float(step), 0, 0, 0))
+        t.persist(transform=False)
+        t.gc()
+    # steady state: only V_{i-1} == V_i remains (all shared)
+    assert rig.nvbm.used == baseline

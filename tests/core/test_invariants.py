@@ -1,0 +1,129 @@
+"""Property-based stress: random op sequences never break the invariants.
+
+Hypothesis drives arbitrary interleavings of refine / coarsen / payload
+writes / persist / GC / crash+restore and checks, after every persist or
+recovery, that the working version equals an independently-maintained model
+tree and that invariants I1-I3 hold.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.octree import morton
+from repro.octree.store import validate_tree
+from tests.core.conftest import PMRig
+
+MAX_LEVEL = 4
+
+
+class ModelTree:
+    """Reference implementation: plain dicts, no persistence tricks."""
+
+    def __init__(self):
+        self.payloads = {morton.ROOT_LOC: (0.0, 0.0, 0.0, 0.0)}
+        self.leaves = {morton.ROOT_LOC}
+        self.persisted = None
+
+    def refine(self, loc):
+        self.leaves.discard(loc)
+        for c in morton.children_of(loc, 2):
+            self.leaves.add(c)
+            self.payloads[c] = self.payloads[loc]
+
+    def coarsen(self, loc):
+        for c in morton.children_of(loc, 2):
+            self.leaves.discard(c)
+            del self.payloads[c]
+        self.leaves.add(loc)
+
+    def set_payload(self, loc, payload):
+        self.payloads[loc] = payload
+
+    def snapshot(self):
+        # internal-node payloads matter too: a later coarsen re-exposes them
+        self.persisted = (dict(self.payloads), set(self.leaves))
+
+    def rollback(self):
+        payloads, leaves = self.persisted
+        self.payloads = dict(payloads)
+        self.leaves = set(leaves)
+
+
+def _signature(tree):
+    return {loc: tree.get_payload(loc) for loc in tree.leaves()}
+
+
+op = st.sampled_from(["refine", "coarsen", "payload", "persist", "gc", "crash"])
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(ops=st.lists(st.tuples(op, st.integers(0, 10_000)), max_size=40))
+def test_random_ops_preserve_consistency(ops):
+    rig = PMRig(dram_octants=128, nvbm_octants=1 << 14)
+    t = rig.tree
+    model = ModelTree()
+    rng = np.random.default_rng(42)
+    persisted_once = False
+
+    for kind, pick in ops:
+        if kind == "refine":
+            candidates = sorted(
+                l for l in model.leaves if morton.level_of(l, 2) < MAX_LEVEL
+            )
+            if not candidates:
+                continue
+            loc = candidates[pick % len(candidates)]
+            t.refine(loc)
+            model.refine(loc)
+        elif kind == "coarsen":
+            # parents whose children are all leaves
+            parents = sorted(
+                {
+                    morton.parent_of(l, 2)
+                    for l in model.leaves
+                    if l != morton.ROOT_LOC
+                }
+            )
+            parents = [
+                p for p in parents
+                if all(c in model.leaves for c in morton.children_of(p, 2))
+            ]
+            if not parents:
+                continue
+            loc = parents[pick % len(parents)]
+            t.coarsen(loc)
+            model.coarsen(loc)
+        elif kind == "payload":
+            leaves = sorted(model.leaves)
+            loc = leaves[pick % len(leaves)]
+            payload = (float(pick), 0.0, 0.0, 0.0)
+            t.set_payload(loc, payload)
+            model.set_payload(loc, payload)
+        elif kind == "persist":
+            t.persist(transform=False)
+            model.snapshot()
+            persisted_once = True
+            assert _signature(t) == {l: model.payloads[l] for l in model.leaves}
+            t.check_invariants()
+        elif kind == "gc":
+            t.gc()
+        elif kind == "crash":
+            if not persisted_once:
+                continue
+            rig.crash(seed=pick)
+            t = rig.restore()
+            model.rollback()
+            assert _signature(t) == {l: model.payloads[l] for l in model.leaves}
+            t.check_invariants()
+
+    # final audit
+    assert {l for l in t.leaves()} == model.leaves
+    validate_tree(t)
+    t.check_invariants()
+    t.gc()
+    t.check_invariants()

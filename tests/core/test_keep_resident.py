@@ -1,0 +1,108 @@
+"""Incremental persistence: the keep-resident merge path (§3.3).
+
+``persist(keep_resident=True)`` writes the NVBM shadow without evicting C0,
+so a subtree that stays hot across persist points is never recopied.  These
+tests pin down the semantics the runtime and Fig 11 depend on.
+"""
+
+import pytest
+
+from repro.nvbm.pointers import is_dram, is_nvbm
+from repro.octree import morton
+from repro.octree.store import validate_tree
+from tests.core.conftest import PMRig
+
+
+def _rig_with_tree(levels=2, **kw):
+    rig = PMRig(**kw)
+    t = rig.tree
+    for _ in range(levels):
+        for leaf in list(t.leaves()):
+            t.refine(leaf)
+    return rig, t
+
+
+def test_keep_resident_preserves_c0():
+    rig, t = _rig_with_tree()
+    assert rig.dram.used == t.num_octants()  # everything starts in C0
+    t.persist(transform=False, keep_resident=True)
+    # still resident...
+    assert rig.dram.used == t.num_octants()
+    assert all(is_dram(h) for h in t._index.values())
+    # ...but a complete NVBM shadow exists and is the persistent version
+    assert rig.nvbm.used >= t.num_octants()
+    prev = t.reachable_from(rig.nvbm.roots.get("V_prev"))
+    assert len(prev) == t.num_octants()
+    t.check_invariants()
+
+
+def test_shadow_survives_crash_while_resident():
+    rig, t = _rig_with_tree()
+    t.persist(keep_resident=True)
+    sig = {loc: t.get_payload(loc) for loc in t.leaves()}
+    rig.crash()
+    t2 = rig.restore()
+    assert {loc: t2.get_payload(loc) for loc in t2.leaves()} == sig
+    validate_tree(t2)
+
+
+def test_second_persist_of_clean_tree_writes_almost_nothing():
+    rig, t = _rig_with_tree()
+    t.persist(keep_resident=True)
+    w0 = rig.nvbm.device.stats.writes
+    t.persist(keep_resident=True)  # nothing changed in between
+    delta = rig.nvbm.device.stats.writes - w0
+    # only bookkeeping (root slots, flush fence), no record rewrites
+    assert delta <= 2
+
+
+def test_dirty_octants_rewritten_clean_shared():
+    rig, t = _rig_with_tree()
+    t.persist(keep_resident=True)
+    leaf = morton.loc_from_coords(2, (1, 1), 2)
+    t.set_payload(leaf, (5.0, 0, 0, 0))
+    prev_before = t.reachable_from(rig.nvbm.roots.get("V_prev"))
+    t.persist(keep_resident=True)
+    prev_after = t.reachable_from(rig.nvbm.roots.get("V_prev"))
+    # exactly the dirtied leaf's root path got new shadow records
+    changed = len(prev_after - prev_before)
+    assert changed == 3  # leaf + level-1 parent + root
+    # old records still exist for the previous version until GC
+    t.gc()
+    t.check_invariants()
+
+
+def test_origins_track_shadow():
+    rig, t = _rig_with_tree()
+    t.persist(keep_resident=True)
+    prev = t.reachable_from(rig.nvbm.roots.get("V_prev"))
+    # every resident octant's origin is a record of the persistent version
+    assert set(t._origin) == set(t._index)
+    assert set(t._origin.values()) <= prev
+
+
+def test_static_chunk_reload_without_transform():
+    """When pressure evicts everything and transform is off, persist
+    re-seeds C0 with a budget-sized chunk (the static layout baseline)."""
+    rig, t = _rig_with_tree(levels=3, dram_octants=4096)
+    # shrink the budget below the tree size, force eviction
+    from dataclasses import replace
+
+    t.config = replace(t.config, dram_capacity_octants=24)
+    t._ensure_dram_capacity(1)
+    assert t.c0_size() == 0  # whole-tree C0 got evicted
+    t.persist(transform=False, keep_resident=True)
+    assert 0 < t.c0_size() <= 24  # a static chunk came back
+    t.check_invariants()
+
+
+def test_overlap_stays_high_across_resident_persists():
+    rig, t = _rig_with_tree()
+    t.persist(keep_resident=True)
+    for step in range(3):
+        leaf = sorted(t.leaves())[step]
+        t.set_payload(leaf, (float(step), 0, 0, 0))
+        assert t.overlap_ratio() > 0.7  # most octants logically shared
+        t.persist(keep_resident=True)
+        t.gc()
+    validate_tree(t)

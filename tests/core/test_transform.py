@@ -1,0 +1,158 @@
+"""Dynamic layout transformation with feature-directed sampling (§3.3)."""
+
+import pytest
+
+from repro.core.transform import (
+    candidate_roots,
+    detect_and_transform,
+    sample_frequency,
+    subtree_level,
+)
+from repro.nvbm.pointers import is_dram, is_nvbm
+from repro.octree import morton
+from tests.core.conftest import PMRig
+
+
+def _persisted(levels=3, dram=4096, **kw):
+    rig = PMRig(dram_octants=dram, **kw)
+    t = rig.tree
+    for _ in range(levels):
+        for leaf in list(t.leaves()):
+            t.refine(leaf)
+    t.persist(transform=False)
+    return rig, t
+
+
+def _hot_region_feature(hot_quadrant):
+    """Feature: cells inside one level-1 quadrant are interesting."""
+
+    def fn(loc, payload):
+        level = morton.level_of(loc, 2)
+        if level == 0:
+            return True
+        return morton.ancestor_at(loc, 2, 1) == hot_quadrant
+
+    return fn
+
+
+def test_subtree_level_eq1():
+    rig, t = _persisted(levels=3, dram=16)
+    # depth 3, fanout 4, dram 16 -> L_sub = 3 - log4(16) = 1
+    assert subtree_level(t) == 1
+    rig2, t2 = _persisted(levels=3, dram=4096)
+    # log4(4096) = 6 > depth: clamps to 0 (whole tree is one candidate)
+    assert subtree_level(t2) == 0
+
+
+def test_candidate_roots():
+    rig, t = _persisted(levels=2)
+    assert candidate_roots(t, 0) == [morton.ROOT_LOC]
+    lvl1 = candidate_roots(t, 1)
+    assert sorted(lvl1) == sorted(morton.children_of(morton.ROOT_LOC, 2))
+
+
+def test_sample_frequency_reflects_features():
+    rig, t = _persisted(levels=3, dram=16)
+    hot = morton.loc_from_coords(1, (0, 0), 2)
+    t.register_feature(_hot_region_feature(hot))
+    import numpy as np
+
+    rng = np.random.default_rng(0)
+    f_hot, size_hot = sample_frequency(t, hot, rng)
+    cold = morton.loc_from_coords(1, (1, 1), 2)
+    f_cold, size_cold = sample_frequency(t, cold, rng)
+    assert size_hot == size_cold == 21  # 1 + 4 + 16
+    assert f_hot > f_cold
+    assert f_cold == 0.0
+
+
+def test_no_features_no_transformation():
+    rig, t = _persisted(levels=3, dram=32)
+    res = detect_and_transform(t)
+    assert not res.transformed
+    assert t.c0_size() == 0
+
+
+def test_hot_subtree_loaded_into_dram():
+    rig, t = _persisted(levels=3, dram=32)
+    hot = morton.loc_from_coords(1, (1, 0), 2)
+    t.register_feature(_hot_region_feature(hot))
+    res = detect_and_transform(t)
+    assert hot in res.loaded
+    assert hot in t._c0_roots
+    # every octant of the hot subtree is now DRAM-resident
+    for loc in t._index:
+        if loc != morton.ROOT_LOC and morton.level_of(loc, 2) >= 1:
+            in_hot = morton.ancestor_at(loc, 2, 1) == hot
+            assert is_dram(t.handle_of(loc)) == in_hot
+    t.check_invariants()
+
+
+def test_transformation_respects_capacity():
+    # DRAM too small for any level-1 subtree (21 octants)
+    rig, t = _persisted(levels=3, dram=16)
+    hot = morton.loc_from_coords(1, (0, 1), 2)
+    t.register_feature(_hot_region_feature(hot))
+    res = detect_and_transform(t)
+    assert res.loaded == []
+    t.check_invariants()
+
+
+def test_hot_swap_replaces_cold_subtree():
+    """When the feature moves, the old C0 subtree is evicted for the new."""
+    rig, t = _persisted(levels=3, dram=30)  # room for exactly one subtree
+    a = morton.loc_from_coords(1, (0, 0), 2)
+    b = morton.loc_from_coords(1, (1, 1), 2)
+    t.features = [_hot_region_feature(a)]
+    detect_and_transform(t)
+    assert a in t._c0_roots
+    # the application moves on: now b is hot
+    t.features = [_hot_region_feature(b)]
+    res = detect_and_transform(t)
+    assert a in res.evicted
+    assert b in res.loaded
+    assert list(t._c0_roots) == [b]
+    t.check_invariants()
+
+
+def test_ratio_threshold_blocks_marginal_swaps():
+    """Equal heat on both sides -> Ratio_access ~ 1 < T_transform: no swap."""
+    rig, t = _persisted(levels=3, dram=30)
+    t.register_feature(lambda loc, p: True)  # everything equally hot
+    detect_and_transform(t)
+    first = list(t._c0_roots)
+    res = detect_and_transform(t)
+    assert not res.evicted  # nothing clearly hotter than the resident tree
+    assert list(t._c0_roots) == first
+
+
+def test_transformation_runs_inside_persist():
+    rig, t = _persisted(levels=3, dram=32)
+    hot = morton.loc_from_coords(1, (0, 0), 2)
+    t.register_feature(_hot_region_feature(hot))
+    t.persist(transform=True)
+    assert t.stats.transformations >= 1
+    assert hot in t._c0_roots
+    t.check_invariants()
+
+
+def test_transformation_reduces_nvbm_writes():
+    """The Fig 5/11 mechanism: with the hot subtree in DRAM, a refinement
+    burst there writes far less NVBM."""
+
+    def run(transform: bool) -> int:
+        rig, t = _persisted(levels=3, dram=32)
+        hot = morton.loc_from_coords(1, (0, 0), 2)
+        t.register_feature(_hot_region_feature(hot))
+        if transform:
+            detect_and_transform(t)
+        w0 = rig.nvbm.device.stats.writes
+        for leaf in sorted(t.leaves()):
+            if morton.level_of(leaf, 2) >= 1 and morton.ancestor_at(leaf, 2, 1) == hot:
+                t.set_payload(leaf, (1.0, 0, 0, 0))
+        return rig.nvbm.device.stats.writes - w0
+
+    oblivious = run(transform=False)
+    aware = run(transform=True)
+    assert aware == 0  # all served from DRAM
+    assert oblivious > 16

@@ -1,0 +1,104 @@
+"""Fast structural tests of every experiment runner.
+
+The benchmark suite runs the full-size experiments and asserts the paper's
+shape claims; these tests run scaled-down variants so the runners' wiring
+and result schemas stay covered by `pytest tests/`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness import experiments as E
+from repro.parallel.runtime import Backend
+
+
+def test_table2_matches_config():
+    rows = E.exp_table2()
+    assert [r[0] for r in rows] == ["DRAM", "NVBM"]
+    assert rows[0][1:3] == (60.0, 60.0)
+    assert rows[1][1:3] == (100.0, 150.0)
+
+
+def test_fig3_rows_schema():
+    rows = E.exp_fig3(steps=12, max_level=4)
+    assert len(rows) >= 10
+    for r in rows:
+        assert 0.0 <= r.overlap_ratio <= 1.0
+        assert 1.0 <= r.reduction_vs_two_copies <= 2.0 + 1e-9
+        assert r.factor_vs_single_copy >= 1.0 - 1e-9
+        assert r.kb_per_1000_octants > 0
+        assert r.records_total >= r.octants  # both versions coexist
+
+
+def test_fig5_oblivious_worse():
+    res = E.exp_fig5(max_level=4)
+    assert res.writes_oblivious > res.writes_aware > 0
+    assert res.pct_more_writes > 0
+
+
+def test_weak_scaling_small():
+    runs = E.exp_weak_scaling(
+        backends=(Backend.PM_OCTREE,), points=(1, 4), steps=3,
+        elements_per_rank=1e5,
+    )
+    results = runs[Backend.PM_OCTREE]
+    assert len(results) == 2
+    assert results[0].makespan_s > 0
+    assert results[1].scale_factor > results[0].scale_factor
+    bd = E.meshing_breakdown(results[1])
+    assert set(bd) == {"construct", "refine", "balance", "partition"}
+    assert sum(bd.values()) == pytest.approx(100.0)
+
+
+def test_strong_scaling_small():
+    runs = E.exp_strong_scaling(
+        backends=(Backend.PM_OCTREE,), points=(8, 32),
+        total_elements=1e6, steps=3,
+    )
+    a, b = runs[Backend.PM_OCTREE]
+    assert b.makespan_s < a.makespan_s  # more ranks -> faster
+
+
+def test_fig10_small():
+    rows = E.exp_fig10(gb_points=(1, 8), nranks=8,
+                       target_elements=1e6, steps=4)
+    labels = [r.label for r in rows]
+    assert labels == ["PM-octree 1GB", "PM-octree 8GB", "in-core",
+                      "out-of-core"]
+    by = {r.label: r.makespan_s for r in rows}
+    assert by["out-of-core"] > by["in-core"]
+    assert rows[0].dram_budget_octants < rows[1].dram_budget_octants
+
+
+def test_fig11_small():
+    rows = E.exp_fig11(sizes=((1e6, 4), (8e6, 5)), nranks=8, steps=6,
+                       dram_octants=120)
+    assert len(rows) == 2
+    for r in rows:
+        assert r.time_with_s > 0 and r.time_without_s > 0
+        assert r.nvbm_writes_with <= r.nvbm_writes_without * 1.05
+
+
+def test_recovery_small():
+    # kill_step must reach the 10-step checkpoint cadence or in-core has
+    # nothing to restart from
+    res = E.exp_recovery(target_elements=1e6, nranks=8, kill_step=10,
+                         max_level=4)
+    assert res.pm_same_node_s < res.incore_same_node_s
+    assert res.pm_new_node_s >= res.pm_same_node_s
+    assert res.incore_new_node_s == res.incore_same_node_s
+    assert not res.ooc_new_node_recoverable
+    assert res.pm_replica_transfer_s > 0
+
+
+def test_write_intensity_small():
+    res = E.exp_write_intensity(steps=5, max_level=4)
+    assert len(res.per_step_pct) == 6  # construction + 5 steps
+    assert 0 < res.avg_pct <= res.max_pct < 100
+
+
+def test_ablation_small():
+    rows = E.exp_ablation_sampling(steps=4, max_level=4, dram_octants=60)
+    assert [r.policy for r in rows] == ["feature-directed", "history", "none"]
+    by = {r.policy: r.nvbm_writes for r in rows}
+    assert by["feature-directed"] <= by["none"]

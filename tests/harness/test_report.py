@@ -1,0 +1,40 @@
+"""Table rendering tests."""
+
+from repro.harness.report import fmt, print_table, seconds, table
+
+
+def test_fmt_floats():
+    assert fmt(0.0) == "0"
+    assert fmt(3.14159) == "3.14"
+    assert fmt(123456.0) == "1.23e+05"
+    assert fmt(0.0001) == "0.0001"
+    assert fmt(7) == "7"
+    assert fmt("x") == "x"
+
+
+def test_table_alignment():
+    out = table("T", ["a", "long-header"], [[1, 2], [333, 4]])
+    lines = out.split("\n")
+    assert lines[0] == "== T =="
+    # all body rows share the header row's width
+    widths = {len(l) for l in lines[1:]}
+    assert len(widths) == 1
+    assert "long-header" in lines[1]
+    assert lines[2].count("+") == 1  # separator between two columns
+
+
+def test_table_empty_rows():
+    out = table("empty", ["x"], [])
+    assert "empty" in out
+    assert out.count("\n") == 2  # title, header, separator
+
+
+def test_print_table(capsys):
+    print_table("demo", ["k", "v"], [["a", 1]])
+    out = capsys.readouterr().out
+    assert "== demo ==" in out
+    assert "a" in out
+
+
+def test_seconds():
+    assert seconds(2.5e9) == 2.5

@@ -1,0 +1,94 @@
+"""Allocator behaviour: exhaustion, recycling, validation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InvalidHandleError, OutOfMemoryError
+from repro.nvbm.allocator import RecordAllocator
+
+
+def test_alloc_until_full():
+    alloc = RecordAllocator(4)
+    idxs = [alloc.alloc() for _ in range(4)]
+    assert sorted(idxs) == [0, 1, 2, 3]
+    with pytest.raises(OutOfMemoryError):
+        alloc.alloc()
+
+
+def test_free_recycles():
+    alloc = RecordAllocator(2)
+    a = alloc.alloc()
+    alloc.alloc()
+    alloc.free(a)
+    assert alloc.alloc() == a  # LIFO reuse
+
+
+def test_double_free_rejected():
+    alloc = RecordAllocator(2)
+    a = alloc.alloc()
+    alloc.free(a)
+    with pytest.raises(InvalidHandleError):
+        alloc.free(a)
+
+
+def test_free_unallocated_rejected():
+    alloc = RecordAllocator(4)
+    with pytest.raises(InvalidHandleError):
+        alloc.free(3)
+    with pytest.raises(InvalidHandleError):
+        alloc.free(99)
+
+
+def test_used_and_free_fraction():
+    alloc = RecordAllocator(10)
+    assert alloc.used == 0
+    assert alloc.free_fraction == 1.0
+    a = alloc.alloc()
+    alloc.alloc()
+    assert alloc.used == 2
+    assert alloc.free_fraction == pytest.approx(0.8)
+    alloc.free(a)
+    assert alloc.used == 1
+
+
+def test_live_indices():
+    alloc = RecordAllocator(8)
+    kept = []
+    for i in range(5):
+        idx = alloc.alloc()
+        if i % 2 == 0:
+            kept.append(idx)
+        else:
+            alloc.free(idx)
+    assert sorted(int(i) for i in alloc.live_indices()) == sorted(kept)
+
+
+def test_reset():
+    alloc = RecordAllocator(4)
+    alloc.alloc()
+    alloc.alloc()
+    alloc.reset()
+    assert alloc.used == 0
+    assert alloc.alloc() == 0
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(ValueError):
+        RecordAllocator(0)
+
+
+@given(ops=st.lists(st.integers(min_value=0, max_value=1), max_size=200))
+def test_used_never_exceeds_capacity(ops):
+    """Property: used stays within [0, capacity] under any alloc/free mix."""
+    alloc = RecordAllocator(16)
+    live = []
+    for op in ops:
+        if op == 0:
+            try:
+                live.append(alloc.alloc())
+            except OutOfMemoryError:
+                assert alloc.used == 16
+        elif live:
+            alloc.free(live.pop())
+        assert 0 <= alloc.used <= 16
+        assert alloc.used == len(live)

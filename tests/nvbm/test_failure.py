@@ -1,0 +1,51 @@
+"""Failure injector tests."""
+
+import pytest
+
+from repro.errors import SimulatedCrash
+from repro.nvbm.failure import CrashPlan, FailureInjector
+
+
+def test_disarmed_sites_are_free():
+    inj = FailureInjector()
+    for _ in range(10):
+        inj.site("merge.mid")
+    assert inj.hits["merge.mid"] == 10
+    assert inj.fired == []
+
+
+def test_fires_at_nth_hit():
+    inj = FailureInjector()
+    inj.arm("persist.before_root_swap", at_hit=3)
+    inj.site("persist.before_root_swap")
+    inj.site("persist.before_root_swap")
+    with pytest.raises(SimulatedCrash) as exc:
+        inj.site("persist.before_root_swap")
+    assert exc.value.point == "persist.before_root_swap"
+    # plan is consumed: further hits are safe
+    inj.site("persist.before_root_swap")
+    assert inj.fired == ["persist.before_root_swap"]
+
+
+def test_disarm():
+    inj = FailureInjector()
+    inj.arm("a")
+    inj.arm("b")
+    inj.disarm("a")
+    inj.site("a")
+    assert inj.armed_sites == ["b"]
+    inj.disarm()
+    inj.site("b")
+    assert inj.fired == []
+
+
+def test_plan_validates_hit_count():
+    with pytest.raises(ValueError):
+        CrashPlan("x", at_hit=0)
+
+
+def test_reset_hits():
+    inj = FailureInjector()
+    inj.site("s")
+    inj.reset_hits()
+    assert inj.hits == {}

@@ -1,0 +1,52 @@
+"""Handle encoding tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.nvbm.pointers import (
+    ARENA_DRAM,
+    ARENA_NVBM,
+    NULL_HANDLE,
+    arena_of,
+    index_of,
+    is_dram,
+    is_null,
+    is_nvbm,
+    make_handle,
+)
+
+
+def test_null():
+    assert is_null(NULL_HANDLE)
+    assert not is_dram(NULL_HANDLE)
+    assert not is_nvbm(NULL_HANDLE)
+
+
+def test_tags():
+    h = make_handle(ARENA_DRAM, 5)
+    assert is_dram(h) and not is_nvbm(h)
+    h2 = make_handle(ARENA_NVBM, 5)
+    assert is_nvbm(h2) and not is_dram(h2)
+    assert h != h2  # same index, different arena
+
+
+def test_invalid_inputs():
+    with pytest.raises(ValueError):
+        make_handle(0, 1)
+    with pytest.raises(ValueError):
+        make_handle(ARENA_DRAM, -1)
+    with pytest.raises(ValueError):
+        make_handle(ARENA_DRAM, 1 << 48)
+    with pytest.raises(ValueError):
+        make_handle(1 << 17, 0)
+
+
+@given(
+    arena=st.integers(min_value=1, max_value=0xFFFF),
+    index=st.integers(min_value=0, max_value=(1 << 48) - 1),
+)
+def test_roundtrip_property(arena, index):
+    h = make_handle(arena, index)
+    assert arena_of(h) == arena
+    assert index_of(h) == index
+    assert not is_null(h)

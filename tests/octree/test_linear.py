@@ -1,0 +1,116 @@
+"""Linear octree tests: ordering, search, splitting, completeness."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConsistencyError
+from repro.octree import morton
+from repro.octree.linear import LinearOctree
+
+
+def _adaptive_quadtree(quadtree):
+    kids = quadtree.refine(morton.ROOT_LOC)
+    quadtree.refine(kids[1])
+    return quadtree
+
+
+def test_from_tree_roundtrip(quadtree):
+    _adaptive_quadtree(quadtree)
+    loc = morton.loc_from_coords(1, (0, 1), 2)
+    quadtree.set_payload(loc, (3.0, 1.0, 0.0, 0.0))
+    lin = LinearOctree.from_tree(quadtree)
+    assert len(lin) == 7
+    assert set(lin) == set(quadtree.leaves())
+    assert lin.payload_of(loc) == (3.0, 1.0, 0.0, 0.0)
+
+
+def test_sorted_by_zorder(quadtree):
+    _adaptive_quadtree(quadtree)
+    lin = LinearOctree.from_tree(quadtree)
+    assert list(lin.keys) == sorted(lin.keys)
+
+
+def test_index_of_and_contains(quadtree):
+    _adaptive_quadtree(quadtree)
+    lin = LinearOctree.from_tree(quadtree)
+    present = morton.loc_from_coords(1, (0, 0), 2)
+    absent = morton.loc_from_coords(1, (1, 0), 2)  # refined away
+    assert lin.contains(present)
+    assert not lin.contains(absent)
+    assert lin.index_of(absent) == -1
+
+
+def test_payload_of_missing_raises(quadtree):
+    lin = LinearOctree.from_tree(quadtree)
+    with pytest.raises(KeyError):
+        lin.payload_of(morton.loc_from_coords(2, (0, 0), 2))
+
+
+def test_find_enclosing(quadtree):
+    _adaptive_quadtree(quadtree)
+    lin = LinearOctree.from_tree(quadtree)
+    # a virtual deep cell inside the (0,0) quadrant resolves to that leaf
+    deep = morton.loc_from_coords(3, (1, 1), 2)
+    i = lin.find_enclosing(deep)
+    assert i >= 0
+    assert int(lin.locs[i]) == morton.loc_from_coords(1, (0, 0), 2)
+    # exact hit
+    exact = morton.loc_from_coords(1, (0, 0), 2)
+    assert int(lin.locs[lin.find_enclosing(exact)]) == exact
+
+
+def test_validate_complete_accepts_tiling(quadtree):
+    _adaptive_quadtree(quadtree)
+    lin = LinearOctree.from_tree(quadtree)
+    lin.validate_complete()
+
+
+def test_validate_complete_rejects_gap():
+    locs = [morton.loc_from_coords(1, (0, 0), 2),
+            morton.loc_from_coords(1, (1, 1), 2)]  # missing two quadrants
+    lin = LinearOctree(2, locs)
+    with pytest.raises(ConsistencyError):
+        lin.validate_complete()
+
+
+def test_split_ranges_cover_everything(quadtree):
+    quadtree.refine_uniform(3)
+    lin = LinearOctree.from_tree(quadtree)
+    ranges = lin.split_ranges(5)
+    assert len(ranges) == 5
+    assert ranges[0][0] == 0
+    assert ranges[-1][1] == len(lin)
+    for (a, b), (c, d) in zip(ranges, ranges[1:]):
+        assert b == c
+    sizes = [b - a for a, b in ranges]
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_split_more_parts_than_leaves(quadtree):
+    lin = LinearOctree.from_tree(quadtree)  # 1 leaf
+    ranges = lin.split_ranges(4)
+    nonempty = [r for r in ranges if r[1] > r[0]]
+    assert len(nonempty) == 1
+
+
+def test_split_rejects_nonpositive(quadtree):
+    lin = LinearOctree.from_tree(quadtree)
+    with pytest.raises(ValueError):
+        lin.split_ranges(0)
+
+
+def test_slice_and_merge_roundtrip(quadtree):
+    quadtree.refine_uniform(2)
+    lin = LinearOctree.from_tree(quadtree)
+    (a0, a1), (b0, b1) = lin.split_ranges(2)
+    left, right = lin.slice(a0, a1), lin.slice(b0, b1)
+    merged = left.merged_with(right)
+    assert set(merged) == set(lin)
+    merged.validate_complete()
+
+
+def test_merge_dim_mismatch():
+    a = LinearOctree(2, [morton.ROOT_LOC])
+    b = LinearOctree(3, [morton.ROOT_LOC])
+    with pytest.raises(ValueError):
+        a.merged_with(b)

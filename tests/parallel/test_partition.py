@@ -1,0 +1,139 @@
+"""SFC repartitioning tests."""
+
+import numpy as np
+import pytest
+
+from repro.config import DRAM_SPEC, GEMINI_SPEC
+from repro.errors import PartitionError
+from repro.octree import morton
+from repro.octree.linear import LinearOctree
+from repro.parallel.cluster import SimulatedCluster
+from repro.parallel.network import Network
+from repro.parallel.partition import repartition
+from repro.parallel.simmpi import RankContext, SimCommunicator
+
+
+def _uniform_leaves(level, dim=2):
+    side = 1 << level
+    if dim == 2:
+        return [
+            morton.loc_from_coords(level, (x, y), dim)
+            for x in range(side)
+            for y in range(side)
+        ]
+    raise NotImplementedError
+
+
+def _cluster(n):
+    return SimulatedCluster(n, dram_octants_per_rank=4096,
+                            nvbm_octants_per_rank=4096)
+
+
+def test_skewed_to_balanced():
+    cluster = _cluster(4)
+    leaves = _uniform_leaves(3)  # 64 leaves
+    # rank 0 owns everything initially
+    pieces = [
+        LinearOctree(2, leaves),
+        LinearOctree(2, [], max_level=3),
+        LinearOctree(2, [], max_level=3),
+        LinearOctree(2, [], max_level=3),
+    ]
+    res = repartition(cluster.comm, pieces)
+    sizes = [len(p) for p in res.pieces]
+    assert sizes == [16, 16, 16, 16]
+    assert res.octants_moved == 48  # three quarters shipped away
+    assert res.balanced
+
+
+def test_preserves_octant_set_and_payloads():
+    cluster = _cluster(3)
+    leaves = _uniform_leaves(2)  # 16 leaves
+    payloads = np.arange(16 * 4, dtype=float).reshape(16, 4)
+    pieces = [
+        LinearOctree(2, leaves, payloads),
+        LinearOctree(2, [], max_level=2),
+        LinearOctree(2, [], max_level=2),
+    ]
+    before = {int(l): tuple(p) for l, p in zip(pieces[0].locs, pieces[0].payloads)}
+    res = repartition(cluster.comm, pieces)
+    after = {}
+    for p in res.pieces:
+        for l, pay in zip(p.locs, p.payloads):
+            after[int(l)] = tuple(pay)
+    assert after == before
+
+
+def test_pieces_stay_zorder_contiguous():
+    cluster = _cluster(4)
+    leaves = _uniform_leaves(3)
+    pieces = [LinearOctree(2, leaves)] + [
+        LinearOctree(2, [], max_level=3) for _ in range(3)
+    ]
+    res = repartition(cluster.comm, pieces)
+    # global z-order must be piece0 ++ piece1 ++ ...: each piece's max key
+    # is below the next piece's min key
+    for a, b in zip(res.pieces, res.pieces[1:]):
+        if len(a) and len(b):
+            assert a.keys[-1] < b.keys[0]
+
+
+def test_already_balanced_moves_nothing():
+    cluster = _cluster(2)
+    leaves = _uniform_leaves(2)
+    lin = LinearOctree(2, leaves)
+    (a0, a1), (b0, b1) = lin.split_ranges(2)
+    pieces = [lin.slice(a0, a1), lin.slice(b0, b1)]
+    res = repartition(cluster.comm, pieces)
+    assert res.octants_moved == 0
+    assert res.bytes_moved == 0
+
+
+def test_comm_time_charged_when_moving():
+    cluster = _cluster(2)
+    leaves = _uniform_leaves(3)
+    pieces = [LinearOctree(2, leaves), LinearOctree(2, [], max_level=3)]
+    t0 = cluster.comm.makespan_ns()
+    res = repartition(cluster.comm, pieces)
+    assert res.octants_moved > 0
+    assert cluster.comm.makespan_ns() > t0
+    assert cluster.network.bytes_moved >= res.bytes_moved
+
+
+def test_empty_forest_rejected():
+    cluster = _cluster(2)
+    pieces = [LinearOctree(2, [], max_level=1), LinearOctree(2, [], max_level=1)]
+    with pytest.raises(PartitionError):
+        repartition(cluster.comm, pieces)
+
+
+def test_piece_count_mismatch_rejected():
+    cluster = _cluster(3)
+    with pytest.raises(PartitionError):
+        repartition(cluster.comm, [LinearOctree(2, [morton.ROOT_LOC])])
+
+
+def test_cluster_node_layout():
+    cluster = SimulatedCluster(40)
+    assert cluster.nranks == 40
+    assert cluster.nnodes == 3  # 16 cores/node on Titan
+    assert len(cluster.ranks_on_node(0)) == 16
+    assert len(cluster.ranks_on_node(2)) == 8
+
+
+def test_kill_node_semantics():
+    cluster = _cluster(2)
+    ctx = cluster.ranks[0]
+    dram, nvbm = ctx.resources["dram"], ctx.resources["nvbm"]
+    from repro.nvbm.records import OctantRecord
+
+    dram.new_octant(OctantRecord(loc=1))
+    h = nvbm.new_octant(OctantRecord(loc=1))
+    nvbm.flush()
+    killed = cluster.kill_node(0)
+    assert killed == [0, 1]  # both ranks share node 0 (16 cores/node)
+    assert not ctx.alive
+    assert dram.used == 0          # DRAM gone
+    assert nvbm.read_octant(h).loc == 1  # flushed NVBM survives
+    cluster.revive_rank(0, node=5)
+    assert ctx.alive and ctx.node == 5

@@ -1,0 +1,119 @@
+"""Parallel runtime: backend wiring, scaling model, result accounting."""
+
+import numpy as np
+import pytest
+
+from repro.config import SolverConfig
+from repro.octree.linear import LinearOctree
+from repro.parallel.runtime import (
+    Backend,
+    RunConfig,
+    RunResult,
+    _equal_cuts,
+    _ownership_counts,
+    run_parallel,
+)
+
+SOL = SolverConfig(dim=2, min_level=2, max_level=4, dt=0.01)
+
+
+def _run(backend=Backend.PM_OCTREE, nranks=4, steps=4, **kw):
+    return run_parallel(RunConfig(
+        backend=backend, nranks=nranks, target_elements=1e6 * nranks,
+        steps=steps, solver=SOL, **kw,
+    ))
+
+
+@pytest.mark.parametrize("backend", list(Backend))
+def test_all_backends_run(backend):
+    res = _run(backend=backend)
+    assert res.makespan_s > 0
+    assert res.scale_factor > 1
+    assert res.actual_octants > 1
+    assert len(res.step_reports) == 4
+    assert "solve" in res.phase_seconds
+
+
+def test_breakdown_percent_sums_to_100():
+    res = _run()
+    assert sum(res.breakdown_percent.values()) == pytest.approx(100.0)
+
+
+def test_out_of_core_slowest_in_core_fastest():
+    times = {b: _run(backend=b).makespan_s for b in Backend}
+    assert times[Backend.IN_CORE] < times[Backend.PM_OCTREE]
+    assert times[Backend.PM_OCTREE] < times[Backend.OUT_OF_CORE]
+
+
+def test_more_dram_makes_pm_faster():
+    slow = _run(dram_fraction=0.05, steps=6)
+    fast = _run(dram_fraction=1.0, steps=6)
+    assert fast.makespan_s < slow.makespan_s
+    assert fast.nvbm_writes < slow.nvbm_writes
+
+
+def test_dram_octants_overrides_fraction():
+    res = _run(dram_octants=16, dram_fraction=1.0)
+    assert res.config.dram_octants == 16
+
+
+def test_weak_scaling_partition_share_grows():
+    shares = []
+    for P in (1, 8, 64):
+        res = run_parallel(RunConfig(
+            backend=Backend.PM_OCTREE, nranks=P, target_elements=1e6 * P,
+            steps=4, solver=SOL,
+        ))
+        part = res.phase_seconds.get("partition", 0.0)
+        shares.append(part / res.makespan_s)
+    assert shares[0] == 0.0  # single rank never partitions
+    assert shares[1] < shares[2]
+
+
+def test_strong_scaling_speedup():
+    t_small = run_parallel(RunConfig(
+        backend=Backend.PM_OCTREE, nranks=16, target_elements=32e6,
+        steps=4, solver=SOL,
+    )).makespan_s
+    t_large = run_parallel(RunConfig(
+        backend=Backend.PM_OCTREE, nranks=64, target_elements=32e6,
+        steps=4, solver=SOL,
+    )).makespan_s
+    speedup = t_small / t_large
+    assert 2.0 < speedup <= 4.5  # close to the ideal 4x
+
+
+def test_migration_accounted():
+    res = run_parallel(RunConfig(
+        backend=Backend.PM_OCTREE, nranks=8, target_elements=8e6, steps=8,
+        solver=SolverConfig(dim=2, min_level=2, max_level=5, dt=0.01),
+    ))
+    assert res.octants_migrated > 0
+
+
+def test_pm_persists_every_step():
+    res = _run(steps=5)
+    assert res.persists == 5
+
+
+def test_in_core_nvbm_writes_are_page_writes():
+    res = _run(backend=Backend.IN_CORE, steps=10)
+    assert res.nvbm_writes > 0  # a checkpoint landed at step 10
+
+
+def test_equal_cuts_and_ownership():
+    from repro.octree import morton
+
+    # keys must share one max_level alignment for cuts to stay comparable
+    locs = [morton.loc_from_coords(3, (x, y), 2) for x in range(8) for y in range(8)]
+    lin = LinearOctree(2, locs, max_level=4)
+    cuts = _equal_cuts(lin, 4)
+    counts = _ownership_counts(lin, cuts)
+    assert counts.sum() == 64
+    assert max(counts) - min(counts) <= 1
+    # adding a leaf in rank 0's region must increase rank 0's count
+    extra = LinearOctree(2, locs + [morton.loc_from_coords(4, (0, 1), 2)],
+                         max_level=4)
+    counts2 = _ownership_counts(extra, cuts)
+    assert counts2.sum() == 65
+    assert counts2[0] == counts[0] + 1

@@ -1,0 +1,38 @@
+"""Runtime workload selection: the wave application through the scaling
+driver."""
+
+import pytest
+
+from repro.config import SolverConfig
+from repro.parallel.runtime import Backend, RunConfig, run_parallel
+
+SOL = SolverConfig(dim=2, min_level=2, max_level=4, dt=0.02)
+
+
+def test_wave_workload_runs():
+    res = run_parallel(RunConfig(
+        backend=Backend.PM_OCTREE, nranks=4, target_elements=4e6,
+        steps=4, workload="wave", solver=SOL,
+    ))
+    assert res.makespan_s > 0
+    assert res.persists == 4
+    for phase in ("construct", "refine", "solve", "persist"):
+        assert res.phase_seconds.get(phase, 0.0) > 0.0
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(ValueError):
+        run_parallel(RunConfig(
+            backend=Backend.PM_OCTREE, nranks=2, target_elements=1e6,
+            steps=1, workload="lattice-boltzmann", solver=SOL,
+        ))
+
+
+def test_wave_in_core_vs_pm_ordering():
+    times = {}
+    for backend in (Backend.IN_CORE, Backend.PM_OCTREE):
+        times[backend] = run_parallel(RunConfig(
+            backend=backend, nranks=4, target_elements=4e6,
+            steps=4, workload="wave", solver=SOL,
+        )).makespan_s
+    assert times[Backend.IN_CORE] < times[Backend.PM_OCTREE]

@@ -1,0 +1,111 @@
+"""Simulated communicator semantics."""
+
+import pytest
+
+from repro.config import GEMINI_SPEC
+from repro.nvbm.clock import Category
+from repro.parallel.network import Network
+from repro.parallel.simmpi import RankContext, SimCommunicator
+
+
+def _comm(n):
+    ranks = [RankContext(rank=i) for i in range(n)]
+    return SimCommunicator(ranks, Network(GEMINI_SPEC)), ranks
+
+
+def test_requires_ranks():
+    with pytest.raises(ValueError):
+        SimCommunicator([], Network(GEMINI_SPEC))
+
+
+def test_barrier_synchronises_clocks():
+    comm, ranks = _comm(4)
+    ranks[2].clock.advance(1000.0)
+    comm.barrier()
+    times = {r.clock.now_ns for r in ranks}
+    assert len(times) == 1
+    assert times.pop() > 1000.0  # barrier itself costs something
+
+
+def test_barrier_charges_wait_as_comm():
+    comm, ranks = _comm(2)
+    ranks[0].clock.advance(500.0, Category.COMPUTE)
+    comm.barrier()
+    assert ranks[1].clock.category_ns(Category.COMM) >= 500.0
+
+
+def test_allreduce_sum():
+    comm, _ = _comm(4)
+    assert comm.allreduce([1, 2, 3, 4]) == 10
+
+
+def test_allreduce_custom_op():
+    comm, _ = _comm(3)
+    assert comm.allreduce([5, 9, 2], op=max) == 9
+
+
+def test_allreduce_validates_arity():
+    comm, _ = _comm(3)
+    with pytest.raises(ValueError):
+        comm.allreduce([1, 2])
+
+
+def test_allgather():
+    comm, _ = _comm(3)
+    assert comm.allgather(["a", "b", "c"]) == ["a", "b", "c"]
+
+
+def test_alltoallv_delivery():
+    comm, _ = _comm(3)
+    sends = [
+        {1: "r0->r1", 2: "r0->r2"},
+        {0: "r1->r0"},
+        {2: "self"},
+    ]
+    recvs = comm.alltoallv(sends, nbytes_of=lambda s: len(s))
+    assert recvs[1][0] == "r0->r1"
+    assert recvs[2][0] == "r0->r2"
+    assert recvs[0][1] == "r1->r0"
+    assert recvs[2][2] == "self"
+
+
+def test_alltoallv_charges_both_endpoints():
+    comm, ranks = _comm(2)
+    comm.alltoallv([{1: "x" * 1000}, {}], nbytes_of=len)
+    # both endpoints saw comm time beyond the barrier cost
+    assert ranks[0].clock.category_ns(Category.COMM) > 0
+    assert ranks[1].clock.category_ns(Category.COMM) > 0
+
+
+def test_alltoallv_to_unknown_rank_rejected():
+    comm, _ = _comm(2)
+    with pytest.raises(ValueError):
+        comm.alltoallv([{5: "x"}, {}], nbytes_of=len)
+
+
+def test_single_rank_collectives_are_cheap():
+    comm, ranks = _comm(1)
+    comm.barrier()
+    assert comm.allreduce([7]) == 7
+    assert ranks[0].clock.now_ns == 0.0  # log2(1) == 0 stages
+
+
+def test_makespan():
+    comm, ranks = _comm(3)
+    ranks[1].clock.advance(999.0)
+    assert comm.makespan_ns() == 999.0
+
+
+def test_phase_breakdown_is_max_over_ranks():
+    comm, ranks = _comm(2)
+    with ranks[0].clock.phase("refine"):
+        ranks[0].clock.advance(100.0)
+    with ranks[1].clock.phase("refine"):
+        ranks[1].clock.advance(250.0)
+    assert comm.phase_breakdown()["refine"] == 250.0
+
+
+def test_dead_ranks_excluded():
+    comm, ranks = _comm(3)
+    ranks[1].alive = False
+    assert comm.allreduce([1, 1]) == 2  # only two live ranks contribute

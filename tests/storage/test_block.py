@@ -1,0 +1,86 @@
+"""Block device: cost model, durability, bounds."""
+
+import pytest
+
+from repro.config import DISK_SPEC, NVBM_FS_SPEC, BlockDeviceSpec
+from repro.errors import StorageError
+from repro.nvbm.clock import Category, SimClock
+from repro.storage.block import BlockDevice
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+@pytest.fixture
+def disk(clock):
+    return BlockDevice(DISK_SPEC, clock, capacity_pages=128)
+
+
+def test_write_read_roundtrip(disk):
+    pid = disk.alloc_page()
+    disk.write_page(pid, b"hello")
+    assert disk.read_page(pid) == b"hello"
+
+
+def test_io_charged_to_clock(clock, disk):
+    pid = disk.alloc_page()
+    disk.write_page(pid, b"x" * 4096)
+    t = clock.category_ns(Category.IO)
+    # at least the 5 ms write latency
+    assert t >= 5_000_000
+    disk.read_page(pid)
+    assert clock.category_ns(Category.IO) > t
+
+
+def test_disk_much_slower_than_nvbm_fs(clock):
+    disk = BlockDevice(DISK_SPEC, clock)
+    p = disk.alloc_page()
+    disk.write_page(p, b"a")
+    disk_t = clock.now_ns
+
+    clock2 = SimClock()
+    nv = BlockDevice(NVBM_FS_SPEC, clock2)
+    p2 = nv.alloc_page()
+    nv.write_page(p2, b"a")
+    # 4-5 orders of magnitude apart, per §2
+    assert disk_t / clock2.now_ns > 1e2
+
+
+def test_oversize_write_rejected(disk):
+    pid = disk.alloc_page()
+    with pytest.raises(StorageError):
+        disk.write_page(pid, b"x" * 5000)
+
+
+def test_unallocated_page_rejected(disk):
+    with pytest.raises(StorageError):
+        disk.write_page(3, b"x")
+    with pytest.raises(StorageError):
+        disk.read_page(0)
+
+
+def test_capacity_exhaustion(clock):
+    dev = BlockDevice(DISK_SPEC, clock, capacity_pages=2)
+    dev.alloc_page()
+    dev.alloc_page()
+    with pytest.raises(StorageError):
+        dev.alloc_page()
+
+
+def test_crash_is_noop(disk):
+    pid = disk.alloc_page()
+    disk.write_page(pid, b"durable")
+    disk.crash()
+    assert disk.read_page(pid) == b"durable"
+
+
+def test_stats(disk):
+    pid = disk.alloc_page()
+    disk.write_page(pid, b"a")
+    disk.write_page(pid, b"b")
+    disk.read_page(pid)
+    assert disk.stats.page_writes == 2
+    assert disk.stats.page_reads == 1
+    assert disk.bytes_used() == DISK_SPEC.page_size

@@ -1,0 +1,144 @@
+"""B-tree: correctness under bulk loads, splits, tombstones; cost scaling."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import NVBM_FS_SPEC, BlockDeviceSpec
+from repro.nvbm.clock import SimClock
+from repro.storage.block import BlockDevice
+from repro.storage.btree import BTree
+
+
+def _btree(min_degree=None, page_size=4096):
+    spec = BlockDeviceSpec(
+        name="t", page_size=page_size, read_latency_us=1.0,
+        write_latency_us=1.0, bandwidth_gbps=8.0,
+    )
+    dev = BlockDevice(spec, SimClock(), capacity_pages=1 << 16)
+    return BTree(dev, min_degree=min_degree)
+
+
+def test_empty_tree():
+    bt = _btree()
+    assert bt.get(1) is None
+    assert len(bt) == 0
+    assert list(bt.items()) == []
+    assert bt.height() == 1
+
+
+def test_put_get_single():
+    bt = _btree()
+    bt.put(5, 55)
+    assert bt.get(5) == 55
+    assert 5 in bt
+    assert 6 not in bt
+
+
+def test_overwrite():
+    bt = _btree()
+    bt.put(1, 10)
+    bt.put(1, 11)
+    assert bt.get(1) == 11
+    assert len(bt) == 1
+
+
+def test_many_inserts_force_splits():
+    bt = _btree(min_degree=2)  # tiny nodes -> deep tree
+    n = 500
+    keys = list(range(n))
+    random.Random(7).shuffle(keys)
+    for k in keys:
+        bt.put(k, k * 2)
+    assert len(bt) == n
+    assert bt.height() > 2
+    for k in range(n):
+        assert bt.get(k) == k * 2
+
+
+def test_items_sorted():
+    bt = _btree(min_degree=2)
+    keys = [9, 3, 7, 1, 5, 8, 2, 6, 4, 0]
+    for k in keys:
+        bt.put(k, -k)
+    assert [k for k, _ in bt.items()] == sorted(keys)
+
+
+def test_range_query():
+    bt = _btree(min_degree=2)
+    for k in range(100):
+        bt.put(k, k)
+    got = [k for k, _ in bt.range(25, 40)]
+    assert got == list(range(25, 41))
+
+
+def test_tombstone_delete():
+    bt = _btree(min_degree=2)
+    for k in range(20):
+        bt.put(k, k)
+    assert bt.delete(10)
+    assert bt.get(10) is None
+    assert 10 not in bt
+    assert len(bt) == 19
+    assert not bt.delete(10)  # already dead
+    assert not bt.delete(999)  # never existed
+    assert [k for k, _ in bt.items()] == [k for k in range(20) if k != 10]
+
+
+def test_reinsert_after_delete():
+    bt = _btree(min_degree=2)
+    bt.put(1, 10)
+    bt.delete(1)
+    bt.put(1, 20)
+    assert bt.get(1) == 20
+    assert len(bt) == 1
+
+
+def test_tombstone_value_reserved():
+    from repro.storage.btree import TOMBSTONE
+
+    bt = _btree()
+    with pytest.raises(ValueError):
+        bt.put(1, TOMBSTONE)
+
+
+def test_lookup_cost_grows_with_depth():
+    """Each get() pays page reads proportional to tree height."""
+    bt = _btree(min_degree=2)
+    for k in range(300):
+        bt.put(k, k)
+    before = bt.device.stats.page_reads
+    bt.get(150)
+    reads = bt.device.stats.page_reads - before
+    assert reads == bt.height()
+
+
+def test_large_degree_from_page_size():
+    bt = _btree(page_size=4096)
+    # default degree should pack ~hundred keys per node
+    assert bt.t >= 50
+    for k in range(1000):
+        bt.put(k, k)
+    assert bt.height() <= 2
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=10_000), max_size=150),
+    dels=st.lists(st.integers(min_value=0, max_value=10_000), max_size=50),
+)
+def test_model_based_property(keys, dels):
+    """B-tree behaves like a dict under puts and tombstone deletes."""
+    bt = _btree(min_degree=2)
+    model = {}
+    for k in keys:
+        bt.put(k, k + 1)
+        model[k] = k + 1
+    for k in dels:
+        assert bt.delete(k) == (k in model)
+        model.pop(k, None)
+    assert len(bt) == len(model)
+    assert dict(bt.items()) == model
+    for k in list(model)[:20]:
+        assert bt.get(k) == model[k]

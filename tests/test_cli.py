@@ -1,0 +1,63 @@
+"""Command-line interface tests."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_unknown_experiment(capsys):
+    assert main(["experiment", "fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_experiment_table2(capsys):
+    assert main(["experiment", "table2"]) == 0
+    out = capsys.readouterr().out
+    assert "DRAM" in out and "NVBM" in out
+    assert "150" in out
+
+
+def test_experiment_fig5(capsys):
+    assert main(["experiment", "fig5"]) == 0
+    out = capsys.readouterr().out
+    assert "oblivious" in out and "aware" in out
+
+
+def test_simulate_pm(capsys):
+    assert main(["simulate", "--steps", "6", "--max-level", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "droplet ejection on pm-octree" in out
+    assert "simulated execution time" in out
+
+
+def test_simulate_other_backends(capsys):
+    for backend in ("in-core", "out-of-core"):
+        assert main(["simulate", "--backend", backend, "--steps", "3",
+                     "--max-level", "3"]) == 0
+        assert backend in capsys.readouterr().out
+
+
+def test_export_vtk(tmp_path, capsys):
+    out_file = tmp_path / "mesh.vtk"
+    assert main(["export-vtk", "--out", str(out_file), "--steps", "4",
+                 "--max-level", "4"]) == 0
+    content = out_file.read_text()
+    assert content.startswith("# vtk DataFile Version 3.0")
+    assert "SCALARS vof double 1" in content
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_bad_backend_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["simulate", "--backend", "magnetic-tape"])

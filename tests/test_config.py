@@ -1,0 +1,86 @@
+"""Configuration objects: specs, scaling helpers, defaults."""
+
+import pytest
+
+from repro.config import (
+    CACHE_LINE_SIZE,
+    DISK_SPEC,
+    DRAM_SPEC,
+    GB,
+    GEMINI_SPEC,
+    KAMIAK,
+    KB,
+    MB,
+    NVBM_FS_SPEC,
+    NVBM_SPEC,
+    OCTANT_RECORD_SIZE,
+    PFS_SPEC,
+    PMOctreeConfig,
+    SolverConfig,
+    TITAN,
+    DeviceSpec,
+)
+
+
+def test_units():
+    assert KB == 1024
+    assert MB == 1024 * KB
+    assert GB == 1024 * MB
+
+
+def test_record_fits_cache_lines():
+    assert OCTANT_RECORD_SIZE % CACHE_LINE_SIZE == 0
+
+
+def test_table2_values():
+    assert (DRAM_SPEC.read_latency_ns, DRAM_SPEC.write_latency_ns) == (60, 60)
+    assert (NVBM_SPEC.read_latency_ns, NVBM_SPEC.write_latency_ns) == (100, 150)
+    assert DRAM_SPEC.volatile and not NVBM_SPEC.volatile
+
+
+def test_device_spec_scaled():
+    slow = NVBM_SPEC.scaled(2.0)
+    assert slow.read_latency_ns == 200.0
+    assert slow.write_latency_ns == 300.0
+    # everything else untouched; original unmodified (frozen dataclass)
+    assert slow.endurance_writes == NVBM_SPEC.endurance_writes
+    assert NVBM_SPEC.write_latency_ns == 150.0
+
+
+def test_network_transfer():
+    assert GEMINI_SPEC.transfer_ns(0) == 0.0
+    t = GEMINI_SPEC.transfer_ns(6_000_000_000)
+    assert t == pytest.approx(1e9 + GEMINI_SPEC.latency_us * 1e3)
+
+
+def test_block_device_ordering():
+    # disks are orders of magnitude slower per page than NVBM-as-fs
+    assert DISK_SPEC.read_latency_us / NVBM_FS_SPEC.read_latency_us > 1e3
+    # shared PFS page is large (1 MB stripes)
+    assert PFS_SPEC.page_size == MB
+
+
+def test_cluster_specs():
+    assert TITAN.cores_per_node == 16
+    assert TITAN.dram_per_node == 32 * GB
+    assert TITAN.network is GEMINI_SPEC
+    assert KAMIAK.cores_per_node == 20
+
+
+def test_pmoctree_config_defaults():
+    cfg = PMOctreeConfig()
+    assert 0 < cfg.threshold_dram < 1
+    assert 0 < cfg.threshold_nvbm < 1
+    assert cfg.t_transform > 1.0
+    assert cfg.n_sample_max == 100  # the paper's N_sample cap
+
+
+def test_solver_config_defaults():
+    cfg = SolverConfig()
+    assert cfg.dim == 2
+    assert cfg.min_level < cfg.max_level
+    assert cfg.breakup_time > 0
+    assert cfg.shutoff_time == float("inf")  # eject forever unless told
+    # CFL sanity at defaults: jet crosses less than one finest cell per step
+    h_min = 0.5 ** cfg.max_level
+    assert cfg.jet_speed * cfg.dt <= 2 * h_min

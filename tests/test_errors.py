@@ -1,0 +1,39 @@
+"""Exception-hierarchy contract: types, payloads, messages."""
+
+import pytest
+
+from repro import errors
+
+
+def test_hierarchy():
+    for exc in (
+        errors.OutOfMemoryError,
+        errors.InvalidHandleError,
+        errors.SimulatedCrash,
+        errors.RecoveryError,
+        errors.ConsistencyError,
+        errors.StorageError,
+        errors.PartitionError,
+        errors.GCDisabledError,
+    ):
+        assert issubclass(exc, errors.ReproError)
+        assert issubclass(exc, Exception)
+
+
+def test_out_of_memory_payload():
+    e = errors.OutOfMemoryError("nvbm[3]", 4096)
+    assert e.device == "nvbm[3]"
+    assert e.capacity == 4096
+    assert "nvbm[3]" in str(e)
+    assert "4096" in str(e)
+
+
+def test_simulated_crash_payload():
+    e = errors.SimulatedCrash("persist.before_root_swap")
+    assert e.point == "persist.before_root_swap"
+    assert "persist.before_root_swap" in str(e)
+
+
+def test_catching_base_catches_all():
+    with pytest.raises(errors.ReproError):
+        raise errors.GCDisabledError("merge in flight")

@@ -1,0 +1,109 @@
+"""End-to-end crash/replay integration: the workflow §3.4 promises.
+
+A simulation crashes mid-run (at arbitrary injected points), the node
+reboots, `pm_restore` brings back the last persisted step, and the
+application *replays* from there.  Because the workload is deterministic,
+the final state must be bit-identical to an uninterrupted reference run —
+the strongest end-to-end statement the recovery path can make.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import SolverConfig
+from repro.core.api import pm_restore
+from repro.errors import SimulatedCrash
+from repro.octree.store import validate_tree
+from repro.solver.simulation import DropletSimulation
+from tests.core.conftest import PMRig
+
+SOLVER = SolverConfig(dim=2, min_level=2, max_level=4, dt=0.01)
+TOTAL_STEPS = 14
+
+
+def _signature(tree):
+    return {loc: tree.get_payload(loc) for loc in tree.leaves()}
+
+
+def _reference_run():
+    rig = PMRig(dram_octants=1 << 13, nvbm_octants=1 << 16)
+    sim = DropletSimulation(rig.tree, SOLVER, clock=rig.clock,
+                            persistence=lambda s: s.tree.persist())
+    sim.run(TOTAL_STEPS)
+    return _signature(rig.tree)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return _reference_run()
+
+
+@pytest.mark.parametrize("crash_step,site", [
+    (3, "persist.before_flush"),
+    (7, "persist.before_root_swap"),
+    (10, "merge.octant"),
+    (13, "persist.begin"),
+])
+def test_crash_replay_reaches_reference_state(reference, crash_step, site):
+    rig = PMRig(dram_octants=1 << 13, nvbm_octants=1 << 16)
+    sim = DropletSimulation(rig.tree, SOLVER, clock=rig.clock,
+                            persistence=lambda s: s.tree.persist())
+    sim.construct()
+
+    step = 0
+    crashed = False
+    while step < TOTAL_STEPS:
+        if step + 1 == crash_step and not crashed:
+            rig.injector.reset_hits()
+            rig.injector.arm(site)
+        try:
+            sim.step()
+            step += 1
+        except SimulatedCrash:
+            crashed = True
+            # power loss + reboot on the same node
+            rig.crash(seed=crash_step)
+            rig.injector.disarm()
+            tree = pm_restore(rig.dram, rig.nvbm, dim=2,
+                              injector=rig.injector)
+            tree.gc()
+            # the application resumes from the last persisted step
+            sim = DropletSimulation(tree, SOLVER, clock=rig.clock,
+                                    persistence=lambda s: s.tree.persist())
+            sim.step_count = step  # steps [1..step] are safely persisted
+            sim.t = step * SOLVER.dt
+    assert crashed
+    assert _signature(sim.tree) == reference
+    validate_tree(sim.tree)
+    sim.tree.check_invariants()
+
+
+def test_double_crash_replay(reference):
+    """Two crashes in one run, including a crash during the replay itself."""
+    rig = PMRig(dram_octants=1 << 13, nvbm_octants=1 << 16)
+    sim = DropletSimulation(rig.tree, SOLVER, clock=rig.clock,
+                            persistence=lambda s: s.tree.persist())
+    sim.construct()
+    crash_plan = {5: "persist.before_flush", 6: "merge.octant"}
+    step = 0
+    crashes = 0
+    while step < TOTAL_STEPS:
+        plan_site = crash_plan.pop(step + 1, None)
+        if plan_site is not None:
+            rig.injector.reset_hits()
+            rig.injector.arm(plan_site)
+        try:
+            sim.step()
+            step += 1
+        except SimulatedCrash:
+            crashes += 1
+            rig.crash(seed=step + crashes)
+            rig.injector.disarm()
+            tree = pm_restore(rig.dram, rig.nvbm, dim=2,
+                              injector=rig.injector)
+            sim = DropletSimulation(tree, SOLVER, clock=rig.clock,
+                                    persistence=lambda s: s.tree.persist())
+            sim.step_count = step
+            sim.t = step * SOLVER.dt
+    assert crashes == 2
+    assert _signature(sim.tree) == reference
