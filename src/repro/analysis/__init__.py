@@ -1,0 +1,45 @@
+"""Crash-consistency analysis: static checks, runtime ordering, crash sweeps.
+
+The PM-octree correctness argument (docs/crash-consistency.md) rests on one
+ordering invariant: *no root slot ever publishes a handle whose record lines
+are still sitting unflushed in the volatile cache*.  This package proves the
+invariant mechanically, three ways:
+
+* :mod:`repro.analysis.pmlint` — an AST static pass over ``src/repro`` that
+  knows the persistence API surface and flags code that can publish without
+  an intervening ``flush()``, bypasses the COW discipline in ``core/``, or
+  declares a crash site the registry does not know.
+* :mod:`repro.analysis.tracker` — a shadow-state observer installed into
+  :class:`~repro.nvbm.arena.MemoryArena` / ``RootSlots`` that records a
+  per-handle event trace (store -> flush -> publish) and raises on ordering
+  violations at the moment they happen.
+* :mod:`repro.analysis.sweep` — an exhaustive harness that arms every
+  registered crash site in turn and asserts recovery lands on a persisted
+  state.
+
+CLI: ``python -m repro analyze [--static|--trace|--sweep] [--json]``.
+"""
+
+from repro.analysis.pmlint import Finding, lint_paths, lint_repo, lint_source
+from repro.analysis.sweep import SweepOutcome, sweep_all, sweep_site, trace_run
+from repro.analysis.tracker import (
+    OrderingTracker,
+    Violation,
+    install_tracker,
+    uninstall_tracker,
+)
+
+__all__ = [
+    "Finding",
+    "OrderingTracker",
+    "SweepOutcome",
+    "Violation",
+    "install_tracker",
+    "lint_paths",
+    "lint_repo",
+    "lint_source",
+    "sweep_all",
+    "sweep_site",
+    "trace_run",
+    "uninstall_tracker",
+]

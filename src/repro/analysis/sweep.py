@@ -1,0 +1,313 @@
+"""Exhaustive crash-site sweep: arm every registered site, crash, recover.
+
+For each name in the central registry (:mod:`repro.nvbm.sites`) the harness
+builds a fresh PM-octree rig, runs a workload designed to visit every
+declared site (COW updates, refinement, layout transformation with a moving
+hot region, DRAM-pressure eviction, per-step persists), arms the site, and
+— when the injected crash fires — applies power-loss semantics to both
+arenas and asserts that ``pm_restore`` lands on a persisted state:
+
+* the state of the **last completed persist**, when the crash fired before
+  the commit point, or
+* the state the working version had **at the instant of the crash**, when
+  it fired after the atomic root publish (the new version committed).
+
+Anything else — a ``ConsistencyError`` during recovery, a signature that
+matches neither persist point, a tracker-recorded ordering violation — is a
+finding.  Sites the default workload cannot reach (``roots.swap.mid``,
+``replica.before_publish``) get dedicated drivers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.config import DRAM_SPEC, NVBM_SPEC, PMOctreeConfig
+from repro.core.api import pm_create, pm_restore
+from repro.core.pmoctree import SLOT_CURR, SLOT_PREV
+from repro.errors import ReproError, SimulatedCrash
+from repro.nvbm import sites as site_registry
+from repro.nvbm.arena import MemoryArena
+from repro.nvbm.clock import SimClock
+from repro.nvbm.failure import FailureInjector
+from repro.nvbm.pointers import ARENA_DRAM, ARENA_NVBM
+from repro.octree import morton
+
+from repro.analysis.tracker import OrderingTracker, install_tracker
+
+
+@dataclass
+class SweepOutcome:
+    """Result of arming one crash site."""
+
+    site: str
+    fired: bool
+    recovered: Optional[bool]  #: None when the site never fired
+    matched: str = ""          #: which persist point recovery landed on
+    detail: str = ""
+    violations: int = 0        #: ordering-tracker findings during the run
+
+    @property
+    def ok(self) -> bool:
+        return self.violations == 0 and self.recovered in (True, None)
+
+    def to_row(self) -> Dict[str, object]:
+        return {
+            "site": self.site,
+            "fired": self.fired,
+            "recovered": "-" if self.recovered is None else self.recovered,
+            "matched": self.matched or "-",
+            "violations": self.violations,
+            "detail": self.detail or site_registry.describe(self.site),
+        }
+
+
+class _Rig:
+    """A self-contained single-rank PM-octree test bench."""
+
+    def __init__(self, dram_octants: int = 2048, nvbm_octants: int = 1 << 15,
+                 dram_budget: int = 40):
+        self.clock = SimClock()
+        self.injector = FailureInjector()
+        self.dram = MemoryArena(ARENA_DRAM, DRAM_SPEC, self.clock,
+                                dram_octants)
+        self.nvbm = MemoryArena(ARENA_NVBM, NVBM_SPEC, self.clock,
+                                nvbm_octants, injector=self.injector)
+        self.config = PMOctreeConfig(dram_capacity_octants=dram_budget)
+        self.tree = pm_create(self.dram, self.nvbm, dim=2,
+                              config=self.config, injector=self.injector)
+        self.tracker = install_tracker(self.nvbm, strict=False)
+
+    def crash(self, seed: int) -> None:
+        self.dram.crash()
+        self.nvbm.crash(np.random.default_rng(seed))
+
+    def restore(self):
+        self.injector.disarm()
+        self.tree = pm_restore(self.dram, self.nvbm, dim=2,
+                               config=self.config, injector=self.injector)
+        return self.tree
+
+
+def _signature(tree) -> Dict[int, tuple]:
+    return {loc: tuple(tree.get_payload(loc)) for loc in tree.leaves()}
+
+
+def _try_signature(tree) -> Optional[Dict[int, tuple]]:
+    try:
+        return _signature(tree)
+    except ReproError:
+        return None  # crash mid-operation can leave volatile index mid-edit
+
+
+# ----------------------------------------------------------------- workload
+
+def _setup_workload(rig: _Rig) -> List[int]:
+    """Refine to 16 leaves and register a movable hot-region feature.
+
+    Returns the one-element ``hot`` cell the step function rotates, so every
+    layout transformation evicts the stale subtree and loads the fresh one.
+    """
+    tree = rig.tree
+    for _ in range(2):
+        for leaf in list(tree.leaves()):
+            tree.refine(leaf)
+    hot = [morton.loc_from_coords(1, (0, 0), 2)]
+    tree.register_feature(
+        lambda loc, p: loc != morton.ROOT_LOC
+        and morton.ancestor_at(loc, 2, 1) == hot[0]
+    )
+    return hot
+
+
+def _busy_step(rig: _Rig, hot: List[int], step: int, seed: int) -> None:
+    """One time step touching COW, refinement, eviction and the persist."""
+    tree = rig.tree
+    leaves = sorted(tree.leaves())
+    for i, leaf in enumerate(leaves[: 6 + step % 3]):
+        tree.set_payload(leaf, (float(step), float(i), 0.0, 0.0))
+    tree.refine(leaves[(seed + step) % len(leaves)])
+    hot[0] = morton.loc_from_coords(1, ((step + 1) % 2, 0), 2)
+    tree.persist(transform=True)
+
+
+def trace_run(steps: int = 10, seed: int = 7) -> "OrderingTracker":
+    """Run the workload un-armed with the ordering tracker watching.
+
+    Returns the tracker; a clean library leaves ``tracker.violations``
+    empty.  This is the ``repro analyze --trace`` entry point.
+    """
+    rig = _Rig()
+    hot = _setup_workload(rig)
+    rig.tree.persist(transform=True)
+    for step in range(steps):
+        _busy_step(rig, hot, step, seed)
+    rig.tree.gc()
+    return rig.tracker
+
+
+# ------------------------------------------------------------ default driver
+
+def _workload_driver(site: str, max_steps: int, seed: int) -> SweepOutcome:
+    rig = _Rig()
+    tree = rig.tree
+    hot = _setup_workload(rig)
+    tree.persist(transform=True)
+    persisted_sig = _signature(tree)
+
+    rig.injector.reset_hits()
+    rig.injector.arm(site, at_hit=1)
+    fired = False
+    sig_at_crash: Optional[Dict[int, tuple]] = None
+    try:
+        for step in range(max_steps):
+            _busy_step(rig, hot, step, seed)
+            persisted_sig = _signature(tree)
+    except SimulatedCrash:
+        fired = True
+        sig_at_crash = _try_signature(tree)
+
+    violations = len(rig.tracker.violations)
+    if not fired:
+        return SweepOutcome(
+            site=site, fired=False, recovered=None, violations=violations,
+            detail=f"never reached in {max_steps} steps",
+        )
+
+    rig.crash(seed)
+    try:
+        restored = rig.restore()
+        restored.check_invariants()
+    except ReproError as exc:
+        return SweepOutcome(site=site, fired=True, recovered=False,
+                            violations=violations,
+                            detail=f"recovery failed: {exc}")
+    restored_sig = _signature(restored)
+    if restored_sig == persisted_sig:
+        matched = "last-persist"
+    elif sig_at_crash is not None and restored_sig == sig_at_crash:
+        matched = "committed-at-crash"
+    else:
+        return SweepOutcome(
+            site=site, fired=True, recovered=False, violations=violations,
+            detail="restored state matches neither persist point",
+        )
+    return SweepOutcome(site=site, fired=True, recovered=True,
+                        matched=matched, violations=violations)
+
+
+# ----------------------------------------------------------- special drivers
+
+def _swap_driver(site: str, max_steps: int, seed: int) -> SweepOutcome:
+    """roots.swap.mid: the exchange must be all-or-nothing."""
+    rig = _Rig()
+    tree = rig.tree
+    for leaf in list(tree.leaves()):
+        tree.refine(leaf)
+    tree.persist(transform=False)
+    persisted_sig = _signature(tree)
+    before = (rig.nvbm.roots.get(SLOT_PREV), rig.nvbm.roots.get(SLOT_CURR))
+
+    rig.injector.reset_hits()
+    rig.injector.arm(site, at_hit=1)
+    try:
+        rig.nvbm.roots.swap(SLOT_PREV, SLOT_CURR)
+    except SimulatedCrash:
+        pass
+    else:
+        return SweepOutcome(site=site, fired=False, recovered=None,
+                            detail="swap completed without visiting the site")
+    after = (rig.nvbm.roots.get(SLOT_PREV), rig.nvbm.roots.get(SLOT_CURR))
+    if after != before:
+        return SweepOutcome(
+            site=site, fired=True, recovered=False,
+            detail=f"mid-swap crash tore the slots: {before} -> {after}",
+        )
+    rig.crash(seed)
+    try:
+        restored = rig.restore()
+        restored.check_invariants()
+    except ReproError as exc:
+        return SweepOutcome(site=site, fired=True, recovered=False,
+                            detail=f"recovery failed: {exc}")
+    if _signature(restored) != persisted_sig:
+        return SweepOutcome(site=site, fired=True, recovered=False,
+                            detail="restored state lost the persisted step")
+    return SweepOutcome(site=site, fired=True, recovered=True,
+                        matched="last-persist",
+                        violations=len(rig.tracker.violations))
+
+
+def _replica_driver(site: str, max_steps: int, seed: int) -> SweepOutcome:
+    """replica.before_publish: node-loss restore interrupted, then retried."""
+    from repro.core.replication import ReplicaStore, restore_from_replica, \
+        ship_delta
+
+    rig = _Rig()
+    tree = rig.tree
+    for leaf in list(tree.leaves()):
+        tree.refine(leaf)
+    tree.persist(transform=False)
+    persisted_sig = _signature(tree)
+    replica = ReplicaStore()
+    ship_delta(tree, replica)
+
+    clock2 = SimClock()
+    injector2 = FailureInjector()
+    dram2 = MemoryArena(ARENA_DRAM, DRAM_SPEC, clock2, 2048)
+    nvbm2 = MemoryArena(ARENA_NVBM, NVBM_SPEC, clock2, 1 << 15)
+    injector2.arm(site, at_hit=1)
+    try:
+        restore_from_replica(replica, dram2, nvbm2, dim=2,
+                             injector=injector2)
+    except SimulatedCrash:
+        pass
+    else:
+        return SweepOutcome(site=site, fired=False, recovered=None,
+                            detail="replica restore never visited the site")
+    # the half-materialised arena dies with the replacement node; the
+    # replica survives on its peer, so the restore is simply retried
+    nvbm2.crash(np.random.default_rng(seed))
+    injector2.disarm()
+    clock3 = SimClock()
+    dram3 = MemoryArena(ARENA_DRAM, DRAM_SPEC, clock3, 2048)
+    nvbm3 = MemoryArena(ARENA_NVBM, NVBM_SPEC, clock3, 1 << 15)
+    try:
+        restored = restore_from_replica(replica, dram3, nvbm3, dim=2)
+        restored.check_invariants()
+    except ReproError as exc:
+        return SweepOutcome(site=site, fired=True, recovered=False,
+                            detail=f"replica retry failed: {exc}")
+    if _signature(restored) != persisted_sig:
+        return SweepOutcome(site=site, fired=True, recovered=False,
+                            detail="replica restore lost the persisted step")
+    return SweepOutcome(site=site, fired=True, recovered=True,
+                        matched="last-persist")
+
+
+_DRIVERS: Dict[str, Callable[[str, int, int], SweepOutcome]] = {
+    site_registry.ROOTS_SWAP_MID: _swap_driver,
+    site_registry.REPLICA_BEFORE_PUBLISH: _replica_driver,
+}
+
+
+# ----------------------------------------------------------------- public API
+
+def sweep_site(site: str, max_steps: int = 8,
+               seed: Optional[int] = None) -> SweepOutcome:
+    """Arm one site, run its driver, verify recovery."""
+    if seed is None:
+        seed = sum(ord(c) for c in site) % 997
+    driver = _DRIVERS.get(site, _workload_driver)
+    return driver(site, max_steps, seed)
+
+
+def sweep_all(names: Optional[Sequence[str]] = None,
+              max_steps: int = 8) -> List[SweepOutcome]:
+    """Sweep every registered site (or a given subset), in sorted order."""
+    if names is None:
+        names = sorted(site_registry.all_sites())
+    return [sweep_site(name, max_steps=max_steps) for name in names]

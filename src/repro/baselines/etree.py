@@ -17,12 +17,11 @@ the node's device is lost, absent replication.
 
 from __future__ import annotations
 
-import struct
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional
 
 from repro.config import OCTANT_RECORD_SIZE
 from repro.errors import ReproError, StorageError
-from repro.nvbm.records import FLAG_LEAF, OctantRecord, pack_record, unpack_record
+from repro.nvbm.records import OctantRecord, pack_record, unpack_record
 from repro.octree import morton
 from repro.octree.store import Payload, ZERO_PAYLOAD
 from repro.storage.block import BlockDevice

@@ -10,12 +10,11 @@ PM-octree's §5.6 numbers are compared against.
 from __future__ import annotations
 
 import struct
-from typing import Iterator, List, Optional
+from typing import List, Optional
 
 from repro.errors import RecoveryError
 from repro.nvbm.arena import MemoryArena
 from repro.octree import morton
-from repro.octree.store import Payload
 from repro.octree.tree import PointerOctree
 from repro.storage.filesystem import SimFileSystem
 

@@ -3,10 +3,12 @@
     python -m repro simulate --backend pm-octree --steps 50
     python -m repro experiment fig10
     python -m repro recover
+    python -m repro analyze --static --trace --sweep
     python -m repro export-vtk --out mesh.vtk --steps 40
     python -m repro list
 
 Every command prints the same tables the benchmark suite asserts on.
+``analyze`` exits non-zero on any finding, so CI can gate on it.
 """
 
 from __future__ import annotations
@@ -175,6 +177,67 @@ def _cmd_recover(_args) -> int:
     return 0
 
 
+def _cmd_analyze(args) -> int:
+    """Crash-consistency analysis: pmlint / ordering trace / site sweep."""
+    from repro.analysis import lint_paths, lint_repo, sweep_all, trace_run
+    from repro.harness.report import render_json
+
+    run_all = not (args.static or args.trace or args.sweep)
+    sections = {}
+    ok = True
+
+    if args.static or run_all:
+        if args.path:
+            findings = lint_paths(args.path)
+        else:
+            findings = lint_repo()
+        sections["static"] = [f.to_row() for f in findings]
+        ok = ok and not findings
+
+    if args.trace or run_all:
+        tracker = trace_run(steps=args.steps)
+        sections["trace"] = tracker.report_rows()
+        ok = ok and not tracker.violations
+
+    if args.sweep or run_all:
+        outcomes = sweep_all(max_steps=args.steps)
+        sections["sweep"] = [o.to_row() for o in outcomes]
+        ok = ok and all(o.ok for o in outcomes)
+
+    if args.json:
+        print(render_json(sections, ok))
+        return 0 if ok else 1
+
+    if "static" in sections:
+        rows = sections["static"]
+        if rows:
+            print_table("pmlint findings", ["rule", "where", "message"],
+                        [(r["rule"], f"{r['path']}:{r['line']}", r["message"])
+                         for r in rows])
+        else:
+            print("pmlint: clean (0 findings)")
+    if "trace" in sections:
+        rows = sections["trace"]
+        if rows:
+            print_table("ordering violations",
+                        ["kind", "handle", "slot", "detail"],
+                        [(r["kind"], r["handle"], r["slot"], r["detail"])
+                         for r in rows])
+        else:
+            print("ordering trace: clean (0 violations)")
+    if "sweep" in sections:
+        print_table(
+            "crash-site sweep",
+            ["site", "fired", "recovered", "matched", "detail"],
+            [(r["site"], r["fired"], r["recovered"], r["matched"],
+              r["detail"]) for r in sections["sweep"]],
+        )
+        bad = [r for r in sections["sweep"] if r["recovered"] is False]
+        print(f"\nsweep: {len(sections['sweep'])} sites, "
+              f"{len(bad)} recovery failure(s)")
+    return 0 if ok else 1
+
+
 def _cmd_export_vtk(args) -> int:
     from repro.config import SolverConfig
     from repro.octree.vtkout import tree_to_vtk
@@ -217,6 +280,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("recover", help="run the §5.6 recovery comparison") \
         .set_defaults(func=_cmd_recover)
+
+    p = sub.add_parser(
+        "analyze",
+        help="crash-consistency checks: static lint, ordering trace, "
+             "exhaustive crash-site sweep (default: all three)",
+    )
+    p.add_argument("--static", action="store_true",
+                   help="run pmlint over the library source")
+    p.add_argument("--trace", action="store_true",
+                   help="run the workload with the runtime ordering tracker")
+    p.add_argument("--sweep", action="store_true",
+                   help="arm every registered crash site and verify recovery")
+    p.add_argument("--json", action="store_true",
+                   help="emit one machine-readable JSON report")
+    p.add_argument("--steps", type=int, default=8,
+                   help="workload steps for --trace/--sweep")
+    p.add_argument("--path", nargs="*",
+                   help="files/directories for --static (default: repro)")
+    p.set_defaults(func=_cmd_analyze)
 
     p = sub.add_parser("export-vtk", help="simulate and write a VTK mesh")
     p.add_argument("--out", default="mesh.vtk")

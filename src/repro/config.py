@@ -13,7 +13,7 @@ give them): ~1.5 µs MPI latency, ~6 GB/s injection bandwidth per node.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 #: Size in bytes of one packed octant record in an arena (see
 #: :mod:`repro.nvbm.records`).

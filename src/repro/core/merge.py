@@ -17,10 +17,11 @@ drives the Fig 3 overlap ratios.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List
 
-from repro.errors import ConsistencyError, OutOfMemoryError
-from repro.nvbm.pointers import NULL_HANDLE, is_dram, is_nvbm
+from repro.errors import ConsistencyError
+from repro.nvbm import sites
+from repro.nvbm.pointers import NULL_HANDLE, is_dram
 from repro.nvbm.records import OctantRecord
 from repro.octree import morton
 
@@ -64,7 +65,6 @@ def merge_subtree(pmo: "PMOctree", root_loc: int,
     if root_loc not in pmo._c0_roots:
         raise ConsistencyError(f"{root_loc:#x} is not a C0 subtree root")
     merged: Dict[int, int] = {}
-    reused = 0
     for loc in _postorder_locs(pmo, root_loc):
         handle = pmo._index[loc]
         if not is_dram(handle):
@@ -85,7 +85,6 @@ def merge_subtree(pmo: "PMOctree", root_loc: int,
             origin_rec = pmo.nvbm.read_octant(origin)
             if origin_rec.children == child_handles:
                 merged[loc] = origin  # unchanged: share with V_{i-1}
-                reused += 1
                 continue
         new_rec = OctantRecord(
             loc=rec.loc,
@@ -97,7 +96,7 @@ def merge_subtree(pmo: "PMOctree", root_loc: int,
             children=child_handles,
         )
         merged[loc] = pmo.nvbm.new_octant(new_rec)
-        pmo.injector.site("merge.octant")
+        pmo.injector.site(sites.MERGE_OCTANT)
     pmo.stats.merges += 1
 
     if keep_resident:
@@ -139,7 +138,7 @@ def splice_into_parent(pmo: "PMOctree", root_loc: int, new_handle: int) -> None:
 
 def evict_subtree(pmo: "PMOctree", root_loc: int) -> int:
     """DRAM-pressure eviction: merge one C0 subtree and splice it back."""
-    pmo.injector.site("evict.begin")
+    pmo.injector.site(sites.EVICT_BEGIN)
     new_handle = merge_subtree(pmo, root_loc)
     splice_into_parent(pmo, root_loc, new_handle)
     return new_handle
@@ -151,10 +150,10 @@ def merge_all_c0(pmo: "PMOctree", keep_resident: bool = False) -> int:
 
     Returns the NVBM handle of the complete persistent tree's root.
     """
-    for root_loc in sorted(pmo._c0_roots, key=lambda l: morton.level_of(l, pmo.dim)):
+    for root_loc in sorted(pmo._c0_roots, key=lambda leaf: morton.level_of(leaf, pmo.dim)):
         new_handle = merge_subtree(pmo, root_loc, keep_resident=keep_resident)
         splice_into_parent(pmo, root_loc, new_handle)
-        pmo.injector.site("merge.subtree_done")
+        pmo.injector.site(sites.MERGE_SUBTREE_DONE)
     root = pmo._index[morton.ROOT_LOC]
     if is_dram(root):
         # the root itself stayed resident; its shadow was published to the
@@ -208,7 +207,7 @@ def load_subtree(pmo: "PMOctree", root_loc: int) -> bool:
     if len(locs) > pmo.c0_free:
         return False
     # copy top-down so parents exist before children
-    locs.sort(key=lambda l: morton.level_of(l, pmo.dim))
+    locs.sort(key=lambda leaf: morton.level_of(leaf, pmo.dim))
     copied: Dict[int, int] = {}
     for loc in locs:
         nv = pmo._index[loc]
@@ -227,7 +226,7 @@ def load_subtree(pmo: "PMOctree", root_loc: int) -> bool:
             prec = pmo.dram.read_octant(ph)
             prec.children[morton.child_index_of(loc, pmo.dim)] = dh
             pmo.dram.write_octant(ph, prec)
-        pmo.injector.site("load.octant")
+        pmo.injector.site(sites.LOAD_OCTANT)
     for loc, dh in copied.items():
         pmo._index[loc] = dh
     pmo._c0_roots[root_loc] = C0Stats(size=len(locs))

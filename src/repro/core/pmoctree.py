@@ -26,17 +26,12 @@ surviving a crash.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Set
 
 from repro.config import PMOctreeConfig
-from repro.errors import (
-    ConsistencyError,
-    GCDisabledError,
-    OutOfMemoryError,
-    RecoveryError,
-    ReproError,
-)
+from repro.errors import ConsistencyError, GCDisabledError, ReproError
+from repro.nvbm import sites
 from repro.nvbm.arena import MemoryArena
 from repro.nvbm.failure import FailureInjector
 from repro.nvbm.pointers import NULL_HANDLE, is_dram, is_nvbm
@@ -93,6 +88,8 @@ class PMOctree:
         self.dim = dim
         self.config = config or PMOctreeConfig()
         self.injector = injector or FailureInjector()
+        if nvbm.roots.injector is None:
+            nvbm.roots.injector = self.injector
         self.stats = PMStats()
         self.epoch = 1
         self.merging = False
@@ -342,7 +339,7 @@ class PMOctree:
             self.stats.cow_copies += 1
             self._superseded.append(old)
             self._index[ploc] = new
-            self.injector.site("cow.after_copy")
+            self.injector.site(sites.COW_AFTER_COPY)
             # hook the copy into its parent
             if i == first_shared:
                 if ploc == morton.ROOT_LOC:
@@ -458,18 +455,18 @@ class PMOctree:
 
         if keep_resident is None:
             keep_resident = transform
-        self.injector.site("persist.begin")
+        self.injector.site(sites.PERSIST_BEGIN)
         self.merging = True
         try:
             root = merge_all_c0(self, keep_resident=keep_resident)
             if not is_nvbm(root):
                 raise ConsistencyError("root still volatile after merge")
-            self.injector.site("persist.before_flush")
+            self.injector.site(sites.PERSIST_BEFORE_FLUSH)
             self.nvbm.flush()
-            self.injector.site("persist.before_root_swap")
+            self.injector.site(sites.PERSIST_BEFORE_ROOT_SWAP)
             # THE commit point: one atomic 8-byte root-slot store.
             self.nvbm.roots.set(SLOT_PREV, root)
-            self.injector.site("persist.after_root_swap")
+            self.injector.site(sites.PERSIST_AFTER_ROOT_SWAP)
         finally:
             self.merging = False
         self.epoch += 1
@@ -485,6 +482,8 @@ class PMOctree:
             if self.nvbm.contains(old):
                 rec = self.nvbm.read_octant(old)
                 rec.set_deleted(True)
+                # pmlint: allow-direct-write — superseded records belong to
+                # V_{i-2} only; the freshly published root cannot reach them.
                 self.nvbm.write_octant(old, rec)
                 self.stats.marked_deleted += 1
         self._superseded.clear()
@@ -613,7 +612,7 @@ class PMOctree:
 
     def tree_depth(self) -> int:
         return max(
-            (morton.level_of(l, self.dim) for l in self._leaf_set), default=0
+            (morton.level_of(leaf, self.dim) for leaf in self._leaf_set), default=0
         )
 
     def check_invariants(self) -> None:

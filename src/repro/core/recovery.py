@@ -113,6 +113,8 @@ def attach_and_restore(dram: MemoryArena, nvbm: MemoryArena, dim: int = 2,
     pmo.dim = dim
     pmo.config = config or PMOctreeConfig()
     pmo.injector = injector or FailureInjector()
+    if nvbm.roots.injector is None:
+        nvbm.roots.injector = pmo.injector
     from repro.core.pmoctree import PMStats
 
     pmo.stats = PMStats()

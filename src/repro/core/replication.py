@@ -18,9 +18,10 @@ from typing import TYPE_CHECKING, Dict, Optional, Set, Tuple
 
 from repro.config import OCTANT_RECORD_SIZE, PMOctreeConfig
 from repro.errors import RecoveryError
+from repro.nvbm import sites
 from repro.nvbm.arena import MemoryArena
 from repro.nvbm.failure import FailureInjector
-from repro.nvbm.pointers import NULL_HANDLE, is_nvbm
+from repro.nvbm.pointers import NULL_HANDLE
 from repro.nvbm.records import unpack_record
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -134,8 +135,12 @@ def restore_from_replica(replica: ReplicaStore, dram: MemoryArena,
         rec = unpack_record(data)
         rec.parent = swizzle(rec.parent)
         rec.children = [swizzle(c) for c in rec.children]
+        # pmlint: allow-direct-write — every target slot was freshly
+        # allocated above; nothing persistent can reach it yet.
         nvbm.write_octant(translation[old], rec)
     nvbm.flush()
+    if injector is not None:
+        injector.site(sites.REPLICA_BEFORE_PUBLISH)
     new_root = translation[replica.root]
     nvbm.roots.set(SLOT_PREV, new_root)
     return attach_and_restore(dram, nvbm, dim=dim, config=config,

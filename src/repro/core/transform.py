@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.nvbm import sites
 from repro.nvbm.pointers import is_dram
 from repro.octree import morton
 
@@ -147,7 +148,7 @@ def detect_and_transform(pmo: "PMOctree",
                     free = pmo.c0_free
                 if free < sizes[hot]:
                     break  # cannot make room without an unjustified swap
-            pmo.injector.site("transform.mid")
+            pmo.injector.site(sites.TRANSFORM_MID)
             if not load_subtree(pmo, hot):
                 break  # still does not fit (capacity fragmentation)
             result.loaded.append(hot)

@@ -47,6 +47,16 @@ class ConsistencyError(ReproError):
     """An invariant check on a persistent structure failed."""
 
 
+class OrderingViolationError(ConsistencyError):
+    """The runtime ordering tracker observed an illegal persistence order.
+
+    Raised (in strict mode) by :class:`repro.analysis.tracker.OrderingTracker`
+    when a root slot publishes a handle whose record lines are still in the
+    volatile cache, a published handle is freed or overwritten in place, or a
+    needed re-flush was elided.
+    """
+
+
 class StorageError(ReproError):
     """Block-device or filesystem level failure."""
 

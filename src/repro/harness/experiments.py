@@ -10,15 +10,13 @@ Every result carries the factors it used.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.config import (
     DRAM_SPEC,
-    GB,
     INFINIBAND_SPEC,
     NVBM_SPEC,
     OCTANT_RECORD_SIZE,
@@ -30,7 +28,8 @@ from repro.core.api import pm_create, pm_restore
 from repro.core.replication import ReplicaStore, restore_from_replica, ship_delta
 from repro.core.transform import detect_and_transform
 from repro.nvbm.arena import MemoryArena
-from repro.nvbm.clock import Category, SimClock
+from repro.nvbm.clock import SimClock
+from repro.nvbm.failure import default_injector
 from repro.nvbm.pointers import ARENA_DRAM, ARENA_NVBM
 from repro.octree import morton
 from repro.parallel.runtime import Backend, RunConfig, RunResult, run_parallel
@@ -45,6 +44,9 @@ SCALING_SOLVER = SolverConfig(dim=2, min_level=2, max_level=5, dt=0.01)
 
 def _pm_rig(dram_octants: int = 1 << 16, nvbm_octants: int = 1 << 20,
             dram_budget: Optional[int] = None, seed: int = 2017):
+    # Each rig is one experiment repetition: clear the shared injector so
+    # hit counters and fired history never leak across repetitions.
+    default_injector().reset()
     clock = SimClock()
     dram = MemoryArena(ARENA_DRAM, DRAM_SPEC, clock, dram_octants)
     nvbm = MemoryArena(ARENA_NVBM, NVBM_SPEC, clock, nvbm_octants)
@@ -597,7 +599,6 @@ def exp_nvbm_latency_sensitivity(factors=(1.0, 2.0, 4.0),
     if it did not, the transformation would be solving a non-problem.  The
     factor scales both NVBM latencies via ``DeviceSpec.scaled``.
     """
-    from repro.config import DeviceSpec
     from repro.solver.simulation import DropletSimulation
 
     solver = SolverConfig(dim=2, min_level=2, max_level=max_level, dt=0.01)

@@ -1,8 +1,10 @@
-"""Plain-text tables in the style of the paper's figures."""
+"""Plain-text tables in the style of the paper's figures, plus a
+machine-readable JSON envelope for CI gating (``repro analyze --json``)."""
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Sequence
+import json
+from typing import Any, Dict, Iterable, List, Sequence
 
 
 def fmt(value: Any) -> str:
@@ -41,3 +43,24 @@ def print_table(title: str, headers: Sequence[str],
 
 def seconds(ns: float) -> float:
     return ns * 1e-9
+
+
+def json_payload(sections: Dict[str, Iterable[Dict[str, Any]]],
+                 ok: bool) -> Dict[str, Any]:
+    """Normalise analysis results into one machine-readable envelope.
+
+    ``sections`` maps a section name (e.g. ``"static"``) to dict rows, one
+    per finding/outcome.  The envelope carries an overall verdict so CI can
+    gate on ``payload["ok"]`` (or the process exit code) alone.
+    """
+    norm = {name: [dict(r) for r in rows] for name, rows in sections.items()}
+    return {
+        "ok": bool(ok),
+        "sections": norm,
+        "counts": {name: len(rows) for name, rows in norm.items()},
+    }
+
+
+def render_json(sections: Dict[str, Iterable[Dict[str, Any]]],
+                ok: bool) -> str:
+    return json.dumps(json_payload(sections, ok), indent=2, sort_keys=True)

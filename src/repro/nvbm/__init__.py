@@ -33,7 +33,12 @@ from repro.nvbm.pointers import (
 )
 from repro.nvbm.allocator import RecordAllocator
 from repro.nvbm.arena import MemoryArena, RootSlots
-from repro.nvbm.failure import CrashPlan, FailureInjector
+from repro.nvbm import sites
+from repro.nvbm.failure import (
+    CrashPlan,
+    FailureInjector,
+    UnknownCrashSiteWarning,
+)
 
 __all__ = [
     "ARENA_DRAM",
@@ -41,6 +46,8 @@ __all__ = [
     "Category",
     "CrashPlan",
     "FailureInjector",
+    "UnknownCrashSiteWarning",
+    "sites",
     "FLAG_DELETED",
     "FLAG_LEAF",
     "MemoryArena",

@@ -31,7 +31,7 @@ import numpy as np
 from repro.config import CACHE_LINE_SIZE, OCTANT_RECORD_SIZE, DeviceSpec
 from repro.errors import ConsistencyError, InvalidHandleError
 from repro.nvbm.allocator import RecordAllocator
-from repro.nvbm.clock import Category, SimClock
+from repro.nvbm.clock import SimClock
 from repro.nvbm.device import MemoryDevice
 from repro.nvbm.pointers import arena_of, index_of, make_handle
 from repro.nvbm.records import OctantRecord, pack_record, unpack_record
@@ -47,11 +47,20 @@ class RootSlots:
 
     Updates are write-through and atomic: an 8-byte aligned store is atomic
     on x86, which is the primitive PM-octree's persist-point swap relies on.
+
+    ``injector`` (optional) makes :meth:`swap` crash-testable: the site
+    ``roots.swap.mid`` fires between the two device stores, *before* either
+    slot value changes — the model's claim is that the exchange is
+    all-or-nothing, so a mid-swap crash must leave both slots untouched.
+    ``tracer`` (optional, see :mod:`repro.analysis.tracker`) observes every
+    slot publish for ordering verification.
     """
 
-    def __init__(self, device: MemoryDevice):
+    def __init__(self, device: MemoryDevice, injector=None):
         self._device = device
         self._slots: Dict[str, int] = {}
+        self.injector = injector
+        self.tracer = None
 
     def get(self, name: str) -> int:
         self._device.on_read(8)
@@ -60,13 +69,22 @@ class RootSlots:
     def set(self, name: str, handle: int) -> None:
         self._device.on_write(8)
         self._slots[name] = handle
+        if self.tracer is not None:
+            self.tracer.on_publish(name, handle)
 
     def swap(self, a: str, b: str) -> None:
         """Atomically exchange two root slots (the §3.2 persist point)."""
         va, vb = self._slots.get(a, 0), self._slots.get(b, 0)
         self._device.on_write(8)
+        if self.injector is not None:
+            from repro.nvbm.sites import ROOTS_SWAP_MID
+
+            self.injector.site(ROOTS_SWAP_MID)
         self._device.on_write(8)
         self._slots[a], self._slots[b] = vb, va
+        if self.tracer is not None:
+            self.tracer.on_publish(a, vb)
+            self.tracer.on_publish(b, va)
 
     def names(self) -> Iterator[str]:
         return iter(self._slots)
@@ -83,11 +101,15 @@ class MemoryArena:
         capacity_octants: int,
         name: Optional[str] = None,
         wear_leveling: bool = False,
+        injector=None,
     ):
         self.arena_id = arena_id
         self.spec = spec
         self.name = name or spec.name
         self.device = MemoryDevice(spec, clock)
+        #: optional ordering observer (see repro.analysis.tracker); checked
+        #: on every store/flush/free, None in normal operation.
+        self.tracer = None
         if wear_leveling:
             from repro.nvbm.allocator import WearLevelingAllocator
 
@@ -99,7 +121,7 @@ class MemoryArena:
         self._cache: Dict[int, bytes] = {}
         # Root slots only make sense on a persistent arena but are harmless
         # on DRAM (they just vanish with everything else on a crash).
-        self.roots = RootSlots(self.device)
+        self.roots = RootSlots(self.device, injector=injector)
 
     # -- capacity ----------------------------------------------------------
 
@@ -134,6 +156,8 @@ class MemoryArena:
     def free(self, handle: int) -> None:
         """Release a record slot (GC only, per §3.2's deferred deletion)."""
         idx = self._check(handle)
+        if self.tracer is not None:
+            self.tracer.on_free(handle)
         self.allocator.free(idx)
         self._backing.pop(idx, None)
         self._cache.pop(idx, None)
@@ -158,6 +182,8 @@ class MemoryArena:
         if len(data) != OCTANT_RECORD_SIZE:
             raise ValueError(f"record must be {OCTANT_RECORD_SIZE} bytes")
         self.device.on_write(OCTANT_RECORD_SIZE, slot=idx)
+        if self.tracer is not None:
+            self.tracer.on_store(handle, cached=not self.spec.volatile)
         if self.spec.volatile:
             self._backing[idx] = data
         else:
@@ -193,11 +219,17 @@ class MemoryArena:
     def flush(self) -> None:
         """Persist every dirty cached record (persist-point fence)."""
         self.device.clock.advance(FENCE_NS, self.device._category)
+        if self.tracer is not None:
+            self.tracer.on_flush(
+                [make_handle(self.arena_id, idx) for idx in self._cache]
+            )
         self._backing.update(self._cache)
         self._cache.clear()
 
     def crash(self, rng: Optional[np.random.Generator] = None) -> None:
         """Apply power-loss semantics (see module docstring)."""
+        if self.tracer is not None:
+            self.tracer.on_crash()
         if self.spec.volatile:
             self._backing.clear()
             self._cache.clear()

@@ -8,7 +8,7 @@ once per cache line touched, which is how a CPU actually issues the traffic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

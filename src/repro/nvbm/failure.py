@@ -12,10 +12,20 @@ attempting recovery.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.errors import SimulatedCrash
+from repro.nvbm import sites as site_registry
+
+
+class UnknownCrashSiteWarning(UserWarning):
+    """An armed crash-site name is not in :mod:`repro.nvbm.sites`.
+
+    A typo'd site name is otherwise a silent no-op: the plan never fires and
+    the arming test "passes" without exercising anything.
+    """
 
 
 @dataclass
@@ -45,7 +55,19 @@ class FailureInjector:
         self.fired: List[str] = []
 
     def arm(self, site: str, at_hit: int = 1) -> None:
-        """Schedule a crash at the ``at_hit``-th visit of ``site``."""
+        """Schedule a crash at the ``at_hit``-th visit of ``site``.
+
+        Warns when ``site`` is not in the central registry
+        (:mod:`repro.nvbm.sites`) — the plan would otherwise never fire.
+        """
+        if not site_registry.is_known(site):
+            warnings.warn(
+                f"arming unknown crash site {site!r}; it is not in "
+                "repro.nvbm.sites and will never fire unless code declares "
+                "it — register() it if intentional",
+                UnknownCrashSiteWarning,
+                stacklevel=2,
+            )
         self._plans[site] = CrashPlan(site, at_hit)
 
     def disarm(self, site: Optional[str] = None) -> None:
@@ -66,6 +88,14 @@ class FailureInjector:
 
     def reset_hits(self) -> None:
         self.hits.clear()
+
+    def reset(self) -> None:
+        """Return to the freshly-constructed state: no plans, counters or
+        history.  Harnesses call this between experiment repetitions so hit
+        counts (and the ``fired`` log) do not leak across runs."""
+        self._plans.clear()
+        self.hits.clear()
+        self.fired.clear()
 
     @property
     def armed_sites(self) -> List[str]:

@@ -1,0 +1,86 @@
+"""Central registry of crash-site names.
+
+Every ``injector.site("...")`` call in the library must use a name declared
+here.  Before this registry existed, sites were bare string literals
+scattered through :mod:`repro.core`; a typo in either the declaring code or
+the arming test failed *silently* — the crash plan simply never fired and
+the test passed without testing anything.  Now:
+
+* code references the constants below (so a typo is an ``AttributeError``),
+* :meth:`repro.nvbm.failure.FailureInjector.arm` warns when handed a name
+  that is not registered, and
+* the static checker (:mod:`repro.analysis.pmlint`) flags any site literal
+  in ``src/repro`` that the registry does not know.
+
+Tests that need ad-hoc sites can :func:`register` them first.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+# -- copy-on-write ----------------------------------------------------------
+COW_AFTER_COPY = "cow.after_copy"
+
+# -- C0 merging / eviction / loading ---------------------------------------
+MERGE_OCTANT = "merge.octant"
+MERGE_SUBTREE_DONE = "merge.subtree_done"
+EVICT_BEGIN = "evict.begin"
+LOAD_OCTANT = "load.octant"
+
+# -- dynamic layout transformation ------------------------------------------
+TRANSFORM_MID = "transform.mid"
+
+# -- the persist point -------------------------------------------------------
+PERSIST_BEGIN = "persist.begin"
+PERSIST_BEFORE_FLUSH = "persist.before_flush"
+PERSIST_BEFORE_ROOT_SWAP = "persist.before_root_swap"
+PERSIST_AFTER_ROOT_SWAP = "persist.after_root_swap"
+
+# -- root-slot machinery -----------------------------------------------------
+ROOTS_SWAP_MID = "roots.swap.mid"
+
+# -- replication --------------------------------------------------------------
+REPLICA_BEFORE_PUBLISH = "replica.before_publish"
+
+#: name -> what crashing there exercises (the sweep harness reports these).
+DESCRIPTIONS: Dict[str, str] = {
+    COW_AFTER_COPY: "right after one COW copy, before its parent is re-linked",
+    MERGE_OCTANT: "after each octant written during a C0 merge",
+    MERGE_SUBTREE_DONE: "after one C0 subtree finished merging and splicing",
+    EVICT_BEGIN: "start of a DRAM-pressure eviction",
+    LOAD_OCTANT: "after each octant copied into DRAM by a C0 load",
+    TRANSFORM_MID: "mid layout transformation, between evictions and loads",
+    PERSIST_BEGIN: "entry of the persist point, before the C0 merge",
+    PERSIST_BEFORE_FLUSH: "working version merged, nothing flushed yet",
+    PERSIST_BEFORE_ROOT_SWAP: "flushed, an instant before the atomic publish",
+    PERSIST_AFTER_ROOT_SWAP: "an instant after the atomic publish",
+    ROOTS_SWAP_MID: "between the two device stores of a root-slot swap",
+    REPLICA_BEFORE_PUBLISH: "replica materialised and flushed, root not set",
+}
+
+
+def all_sites() -> FrozenSet[str]:
+    """The current registry contents (including test-registered names)."""
+    return frozenset(DESCRIPTIONS)
+
+
+def is_known(name: str) -> bool:
+    return name in DESCRIPTIONS
+
+
+def register(name: str, description: str = "ad-hoc site") -> str:
+    """Add a site at runtime (for tests and downstream extensions)."""
+    if not name or not isinstance(name, str):
+        raise ValueError(f"crash-site name must be a non-empty string: {name!r}")
+    DESCRIPTIONS.setdefault(name, description)
+    return name
+
+
+def unregister(name: str) -> None:
+    """Remove a runtime-registered site (tests cleaning up after themselves)."""
+    DESCRIPTIONS.pop(name, None)
+
+
+def describe(name: str) -> str:
+    return DESCRIPTIONS.get(name, "<unregistered>")

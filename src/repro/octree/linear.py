@@ -9,7 +9,7 @@ ranks, and the Etree baseline persists exactly this array as pages.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -50,10 +50,10 @@ class LinearOctree:
         self.dim = dim
         locs = list(locs)
         if max_level is None:
-            max_level = max((morton.level_of(l, dim) for l in locs), default=0)
+            max_level = max((morton.level_of(leaf, dim) for leaf in locs), default=0)
         self.max_level = max_level
         keys = np.array(
-            [morton.zorder_key(l, dim, max_level) for l in locs], dtype=np.uint64
+            [morton.zorder_key(leaf, dim, max_level) for leaf in locs], dtype=np.uint64
         )
         order = np.argsort(keys, kind="stable")
         self.keys = keys[order]
@@ -68,13 +68,13 @@ class LinearOctree:
         return len(self.locs)
 
     def __iter__(self) -> Iterator[int]:
-        return iter(int(l) for l in self.locs)
+        return iter(int(leaf) for leaf in self.locs)
 
     @classmethod
     def from_tree(cls, tree: AdaptiveTree) -> "LinearOctree":
         """Linearize an adaptive tree's leaves (payloads included)."""
         locs = list(tree.leaves())
-        payloads = np.array([tree.get_payload(l) for l in locs], dtype=np.float64)
+        payloads = np.array([tree.get_payload(leaf) for leaf in locs], dtype=np.float64)
         if not locs:
             payloads = np.zeros((0, 4))
         return cls(tree.dim, locs, payloads)
@@ -167,7 +167,7 @@ class LinearOctree:
         if other.dim != self.dim:
             raise ValueError("dimension mismatch")
         max_level = max(self.max_level, other.max_level)
-        locs = [int(l) for l in self.locs] + [int(l) for l in other.locs]
+        locs = [int(leaf) for leaf in self.locs] + [int(leaf) for leaf in other.locs]
         payloads = np.vstack([self.payloads, other.payloads]) if locs else None
         return LinearOctree(self.dim, locs, payloads, max_level=max_level)
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import product
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.octree import morton
 from repro.octree.store import AdaptiveTree
@@ -95,7 +95,7 @@ def extract_mesh(tree: AdaptiveTree) -> ExtractedMesh:
     """Build the element/vertex mesh with anchored/dangling classification."""
     dim = tree.dim
     leaves = list(tree.leaves())
-    max_level = max((morton.level_of(l, dim) for l in leaves), default=0)
+    max_level = max((morton.level_of(leaf, dim) for leaf in leaves), default=0)
     mesh = ExtractedMesh(dim=dim, max_level=max_level)
 
     for loc in leaves:

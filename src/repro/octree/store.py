@@ -11,7 +11,7 @@ private business.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Protocol, Tuple, runtime_checkable
+from typing import Iterator, List, Protocol, Tuple, runtime_checkable
 
 Payload = Tuple[float, float, float, float]
 

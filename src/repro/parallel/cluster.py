@@ -9,12 +9,10 @@ happen at simulator-affordable sizes with the same ratios.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.config import ClusterSpec, TITAN
 from repro.nvbm.arena import MemoryArena
-from repro.nvbm.clock import SimClock
-from repro.nvbm.failure import FailureInjector
 from repro.nvbm.pointers import ARENA_DRAM, ARENA_NVBM
 from repro.parallel.network import Network
 from repro.parallel.simmpi import RankContext, SimCommunicator

@@ -222,7 +222,7 @@ def run_parallel(cfg: RunConfig) -> RunResult:
         # now that the actual tree size is known, apply the C0 DRAM budget
         # (the "x GB configured for the C0 tree" knob); eviction merging
         # brings the resident set under it on the next pressure check
-        budget = cfg.dram_octants if cfg.dram_octants is not None \
+        budget = cfg.dram_octants if cfg.dram_octants is not None\
             else max(8, int(cfg.dram_fraction * actual0))
         tree.config = PMOctreeConfig(
             dram_capacity_octants=budget,
@@ -248,8 +248,8 @@ def run_parallel(cfg: RunConfig) -> RunResult:
     cuts = _equal_cuts(prev_lin, cfg.nranks)
     uniform = np.full(cfg.nranks, 1.0 / cfg.nranks)
     for _step in range(cfg.steps):
-        prev_leaves = set(int(l) for l in prev_lin.locs)
-        report = sim.step()
+        prev_leaves = set(int(loc) for loc in prev_lin.locs)
+        sim.step()
         lin = LinearOctree.from_tree(tree)
         prev_lin = lin
         # Ownership is still last step's ranges: refinement near the moving
@@ -267,7 +267,7 @@ def run_parallel(cfg: RunConfig) -> RunResult:
         # balancing and delta-persist work concentrates on these ranks —
         # the load imbalance that makes the paper's refine makespan grow
         # 16x while per-rank element counts stay constant (§5.2).
-        new_locs = [int(l) for l in lin.locs if int(l) not in prev_leaves]
+        new_locs = [int(loc) for loc in lin.locs if int(loc) not in prev_leaves]
         if new_locs:
             changed_lin = LinearOctree(cfg.solver.dim, new_locs,
                                        max_level=lin.max_level)

@@ -14,7 +14,7 @@ edge-cut metric the SFC ablation benchmark compares the curves on.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence
 
 from repro.octree import morton
 from repro.octree.store import AdaptiveTree
@@ -97,7 +97,7 @@ def partition_by_key(leaves: Sequence[int], dim: int, max_level: int,
                      nranks: int, key_fn) -> Dict[int, int]:
     """Assign each leaf a rank by cutting the key-sorted order into P
     near-equal ranges.  Returns {leaf: rank}."""
-    ordered = sorted(leaves, key=lambda l: key_fn(l, dim, max_level))
+    ordered = sorted(leaves, key=lambda leaf: key_fn(leaf, dim, max_level))
     n = len(ordered)
     assignment: Dict[int, int] = {}
     for i, loc in enumerate(ordered):
@@ -124,7 +124,7 @@ def edge_cut(tree: AdaptiveTree, assignment: Dict[int, int]) -> int:
 def compare_curves(tree: AdaptiveTree, nranks: int) -> Dict[str, int]:
     """Edge cut of Morton vs Hilbert partitions of the same tree."""
     leaves = list(tree.leaves())
-    max_level = max(morton.level_of(l, tree.dim) for l in leaves)
+    max_level = max(morton.level_of(leaf, tree.dim) for leaf in leaves)
     out = {}
     for name, key_fn in (("morton", morton.zorder_key),
                          ("hilbert", hilbert_key)):

@@ -17,7 +17,7 @@ makespan the paper measures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Sequence
 
 from repro.nvbm.clock import Category, SimClock
 from repro.nvbm.failure import FailureInjector

@@ -49,7 +49,6 @@ def advect_vof(tree: AdaptiveTree, geometry: DropletGeometry,
     if not 0.0 <= sharpen <= 1.0:
         raise ValueError("sharpen must be in [0, 1]")
     dim = tree.dim
-    fields = FieldView(tree)
     vertical_axis = dim - 1
     # Gather phase: read each leaf and its upwind (below) neighbor.
     updates: Dict[int, float] = {}

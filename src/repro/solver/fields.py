@@ -7,9 +7,9 @@ name over any :class:`~repro.octree.store.AdaptiveTree`.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, List
 
-from repro.octree.store import AdaptiveTree, Payload
+from repro.octree.store import AdaptiveTree
 
 #: Payload slot assignments.
 VOF = 0        #: liquid volume fraction (the VOF colour function)

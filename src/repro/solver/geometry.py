@@ -57,7 +57,7 @@ class DropletGeometry:
         """Perturbation amplitude, growing linearly until breakup."""
         if self.config.breakup_time <= 0:
             return self.config.perturbation_amplitude
-        return min(1.0, max(0.0, t / self.config.breakup_time)) \
+        return min(1.0, max(0.0, t / self.config.breakup_time))\
             * self.config.perturbation_amplitude
 
     def column_radius(self, y: float, t: float) -> float:
@@ -178,7 +178,7 @@ class DropletGeometry:
     def velocity(self, point: Sequence[float], t: float) -> Tuple[float, ...]:
         """Prescribed velocity: the liquid rides upward at jet speed, the
         ambient gas co-flows weakly."""
-        v = self.config.jet_speed if self.is_liquid(point, t) \
+        v = self.config.jet_speed if self.is_liquid(point, t)\
             else 0.15 * self.config.jet_speed
         if self.config.dim == 2:
             return (0.0, v)
@@ -194,8 +194,8 @@ class DropletGeometry:
         skip over them the way corner tests would.
         """
         band = self.config.interface_band
-        pad = band * max(h - l for h, l in zip(hi, lo))
-        padded_lo = [l - pad for l in lo]
+        pad = band * max(h - loc for h, loc in zip(hi, lo))
+        padded_lo = [loc - pad for loc in lo]
         padded_hi = [h + pad for h in hi]
         frac = self.vof_of_cell(padded_lo, padded_hi, t, samples=samples)
         return 0.0 < frac < 1.0

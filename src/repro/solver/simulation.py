@@ -13,14 +13,14 @@ the Fig 7/8b breakdowns.
 from __future__ import annotations
 
 from contextlib import nullcontext
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Callable, List, Optional
 
 from repro.config import SolverConfig
 from repro.nvbm.clock import SimClock
 from repro.octree import morton
 from repro.octree.balance import balance_tree
-from repro.octree.refine import Action, RefinementEngine
+from repro.octree.refine import RefinementEngine
 from repro.octree.store import AdaptiveTree
 from repro.solver.advection import advect_vof, initialize_vof
 from repro.solver.features import change_feature, interface_criterion
@@ -85,8 +85,8 @@ class DropletSimulation:
         then adapt to the initial interface and fill the fields."""
         with self._phase("construct"):
             frontier = [
-                l for l in self.tree.leaves()
-                if morton.level_of(l, self.tree.dim) < self.config.min_level
+                leaf for leaf in self.tree.leaves()
+                if morton.level_of(leaf, self.tree.dim) < self.config.min_level
             ]
             while frontier:
                 nxt = []

@@ -21,7 +21,7 @@ same :class:`~repro.octree.store.AdaptiveTree` protocol.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 from repro.nvbm.clock import SimClock
@@ -135,14 +135,14 @@ class WaveSimulation:
     def _phase(self, name: str):
         from contextlib import nullcontext
 
-        return self.clock.phase(name) if self.clock is not None \
+        return self.clock.phase(name) if self.clock is not None\
             else nullcontext()
 
     def construct(self) -> None:
         with self._phase("construct"):
             frontier = [
-                l for l in self.tree.leaves()
-                if morton.level_of(l, self.tree.dim) < self.config.min_level
+                leaf for leaf in self.tree.leaves()
+                if morton.level_of(leaf, self.tree.dim) < self.config.min_level
             ]
             while frontier:
                 nxt = []

@@ -10,7 +10,7 @@ a block device survives crashes by definition (it *is* the paper's
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.config import BlockDeviceSpec
 from repro.errors import StorageError

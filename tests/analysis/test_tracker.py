@@ -1,0 +1,163 @@
+"""Ordering-tracker tests: each violation class fires exactly when the
+crash-consistency argument says it must, and legitimate persist flows pass."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import OrderingTracker, install_tracker, uninstall_tracker
+from repro.config import DRAM_SPEC, NVBM_SPEC
+from repro.errors import OrderingViolationError
+from repro.nvbm.arena import MemoryArena
+from repro.nvbm.clock import SimClock
+from repro.nvbm.pointers import ARENA_DRAM, ARENA_NVBM
+from repro.nvbm.records import OctantRecord
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+@pytest.fixture
+def nvbm(clock):
+    return MemoryArena(ARENA_NVBM, NVBM_SPEC, clock, capacity_octants=64)
+
+
+@pytest.fixture
+def dram(clock):
+    return MemoryArena(ARENA_DRAM, DRAM_SPEC, clock, capacity_octants=64)
+
+
+def _rec(loc=1):
+    return OctantRecord(loc=loc)
+
+
+# ------------------------------------------------------- the violation zoo
+
+def test_publish_before_flush(nvbm):
+    tracker = install_tracker(nvbm, strict=True)
+    h = nvbm.new_octant(_rec())
+    with pytest.raises(OrderingViolationError, match="publish-before-flush"):
+        nvbm.roots.set("V_prev", h)
+    assert tracker.violations[0].kind == "publish-before-flush"
+
+
+def test_flushed_publish_is_clean(nvbm):
+    tracker = install_tracker(nvbm, strict=True)
+    h = nvbm.new_octant(_rec())
+    nvbm.flush()
+    nvbm.roots.set("V_prev", h)
+    assert tracker.violations == []
+    assert tracker.published["V_prev"] == h
+
+
+def test_double_flush_elision(nvbm):
+    """flush once, store again, publish dirty — the event trace catches what
+    a single dirty bit cannot distinguish from never-flushed."""
+    tracker = install_tracker(nvbm, strict=True)
+    h = nvbm.new_octant(_rec())
+    nvbm.flush()
+    nvbm.write_octant(h, _rec(loc=9))  # re-dirty after the flush
+    with pytest.raises(OrderingViolationError, match="double-flush-elision"):
+        nvbm.roots.set("V_prev", h)
+    assert tracker.violations[0].kind == "double-flush-elision"
+
+
+def test_publish_of_volatile(dram, nvbm):
+    install_tracker(dram, nvbm, strict=True)
+    h = dram.new_octant(_rec())
+    with pytest.raises(OrderingViolationError, match="publish-of-volatile"):
+        nvbm.roots.set("V_prev", h)
+
+
+def test_free_of_published(nvbm):
+    tracker = install_tracker(nvbm, strict=True)
+    h = nvbm.new_octant(_rec())
+    nvbm.flush()
+    nvbm.roots.set("V_prev", h)
+    with pytest.raises(OrderingViolationError, match="free-of-published"):
+        nvbm.free(h)
+    assert tracker.violations[0].kind == "free-of-published"
+
+
+def test_store_to_published(nvbm):
+    tracker = install_tracker(nvbm, strict=True)
+    h = nvbm.new_octant(_rec())
+    nvbm.flush()
+    nvbm.roots.set("V_prev", h)
+    with pytest.raises(OrderingViolationError, match="store-to-published"):
+        nvbm.write_octant(h, _rec(loc=5))
+    assert tracker.violations[0].kind == "store-to-published"
+
+
+# ------------------------------------------------------------ scoping rules
+
+def test_non_publish_slot_is_ignored(nvbm):
+    tracker = install_tracker(nvbm, strict=True)
+    h = nvbm.new_octant(_rec())
+    nvbm.roots.set("V_curr", h)  # volatile bookkeeping, not a commit point
+    assert tracker.violations == []
+
+
+def test_null_publish_unpublishes(nvbm):
+    tracker = install_tracker(nvbm, strict=True)
+    h = nvbm.new_octant(_rec())
+    nvbm.flush()
+    nvbm.roots.set("V_prev", h)
+    nvbm.roots.set("V_prev", 0)
+    nvbm.free(h)  # no longer published: freeing is legal
+    assert tracker.violations == []
+
+
+def test_crash_clears_dirty_state(nvbm):
+    tracker = install_tracker(nvbm, strict=True)
+    h = nvbm.new_octant(_rec())
+    nvbm.crash(np.random.default_rng(0))
+    # whatever survived the crash was (by definition) made durable or
+    # dropped; a later publish of the surviving bytes is not an ordering bug
+    nvbm.roots.set("V_prev", h)
+    assert tracker.violations == []
+    assert tracker.counts["crashes"] == 1
+
+
+def test_non_strict_mode_accumulates(nvbm):
+    tracker = install_tracker(nvbm, strict=False)
+    h1 = nvbm.new_octant(_rec(loc=1))
+    h2 = nvbm.new_octant(_rec(loc=2))
+    nvbm.roots.set("V_prev", h1)
+    nvbm.roots.set("V_prev", h2)
+    assert [v.kind for v in tracker.violations] == [
+        "publish-before-flush", "publish-before-flush",
+    ]
+    assert all("handle" in row for row in tracker.report_rows())
+
+
+def test_trace_records_event_order(nvbm):
+    tracker = install_tracker(nvbm, strict=False)
+    h = nvbm.new_octant(_rec())
+    nvbm.flush()
+    nvbm.roots.set("V_prev", h)
+    events = [e.split(":", 1)[1] for e in tracker.trace_of(h)]
+    assert events == ["store", "flush", "publish[V_prev]"]
+
+
+def test_uninstall_detaches(nvbm):
+    tracker = install_tracker(nvbm, strict=True)
+    uninstall_tracker(nvbm)
+    h = nvbm.new_octant(_rec())
+    nvbm.roots.set("V_prev", h)  # unobserved: no raise
+    assert tracker.violations == []
+
+
+def test_one_tracker_may_watch_two_arenas(dram, nvbm):
+    tracker = install_tracker(dram, nvbm, strict=False)
+    dram.new_octant(_rec())
+    nvbm.new_octant(_rec())
+    assert tracker.counts["stores"] == 2
+
+
+def test_standalone_tracker_custom_publish_slots():
+    tracker = OrderingTracker(publish_slots=("root",), strict=False)
+    tracker.on_store(0x1000001)
+    tracker.on_publish("root", 0x1000001)
+    assert [v.kind for v in tracker.violations] == ["publish-before-flush"]

@@ -129,7 +129,7 @@ def test_durable_across_crash(clock, etree):
 
 
 def test_slot_recycling(etree):
-    kids = etree.refine(morton.ROOT_LOC)
+    etree.refine(morton.ROOT_LOC)
     pages_after_refine = etree.device.bytes_used()
     etree.coarsen(morton.ROOT_LOC)
     etree.refine(morton.ROOT_LOC)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import DRAM_SPEC, NVBM_FS_SPEC, PFS_SPEC
+from repro.config import DRAM_SPEC, NVBM_FS_SPEC
 from repro.baselines.incore import CheckpointPolicy, InCoreOctree
 from repro.errors import RecoveryError
 from repro.nvbm.arena import MemoryArena
@@ -50,14 +50,14 @@ def test_requires_volatile_arena(clock):
 
 def test_checkpoint_restore_roundtrip(clock, arena, fs):
     t = _build(arena)
-    sig = {l: t.get_payload(l) for l in t.leaves()}
+    sig = {loc: t.get_payload(loc) for loc in t.leaves()}
     written = t.checkpoint(fs, "snap.gfs")
     assert written > 0
     # crash: DRAM gone
     arena.crash()
     fresh = MemoryArena(ARENA_DRAM, DRAM_SPEC, clock, 1 << 14)
     t2 = InCoreOctree.restore_from(fs, "snap.gfs", fresh)
-    assert {l: t2.get_payload(l) for l in t2.leaves()} == sig
+    assert {loc: t2.get_payload(loc) for loc in t2.leaves()} == sig
     validate_tree(t2)
 
 

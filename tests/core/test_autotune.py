@@ -1,10 +1,8 @@
 """C0 auto-tuner (§6 future work) behaviour."""
 
-import pytest
 
 from repro.config import SolverConfig
 from repro.core.autotune import C0AutoTuner, autotuned_persistence
-from repro.octree import morton
 from repro.solver.simulation import DropletSimulation
 from tests.core.conftest import PMRig
 

@@ -1,8 +1,7 @@
 """Copy-on-write versioning semantics (§3.2, Fig 4)."""
 
-import pytest
 
-from repro.nvbm.pointers import is_dram, is_nvbm
+from repro.nvbm.pointers import is_nvbm
 from repro.octree import morton
 
 

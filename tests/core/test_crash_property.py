@@ -58,7 +58,6 @@ def test_any_crash_is_recoverable(site, hit, seed, use_transform):
         t.refine(sorted(t.leaves())[seed % t.num_leaves()])
         t.persist(transform=use_transform)
         committed = True
-        new_sig = _signature(t)
     except SimulatedCrash as crash:
         committed = crash.point == "persist.after_root_swap"
         if committed:

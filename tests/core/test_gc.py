@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import GCDisabledError, SimulatedCrash
+from repro.errors import GCDisabledError
 from repro.octree import morton
 
 

@@ -1,12 +1,10 @@
 """Replication integrated into the persist path (the §3.4 user switch)."""
 
-import pytest
 
 from repro.config import OCTANT_RECORD_SIZE
 from repro.core.replication import ReplicaStore, restore_from_replica
 from repro.nvbm.pointers import NULL_HANDLE
 from repro.octree import morton
-from tests.core.conftest import PMRig
 
 
 def test_persist_ships_automatically(rig):
@@ -41,7 +39,7 @@ def test_replica_recovers_full_simulation_state(rig):
         clock=rig.clock, persistence=lambda s: s.tree.persist(),
     )
     sim.run(5)
-    sig = {l: t.get_payload(l) for l in t.leaves()}
+    sig = {loc: t.get_payload(loc) for loc in t.leaves()}
     # the node is gone; rebuild from the replica on fresh arenas
     from repro.config import DRAM_SPEC, NVBM_SPEC
     from repro.nvbm.arena import MemoryArena
@@ -55,7 +53,7 @@ def test_replica_recovers_full_simulation_state(rig):
         MemoryArena(ARENA_NVBM, NVBM_SPEC, clock, 1 << 16),
         dim=2,
     )
-    assert {l: t2.get_payload(l) for l in t2.leaves()} == sig
+    assert {loc: t2.get_payload(loc) for loc in t2.leaves()} == sig
 
 
 def test_external_replica_object_accepted(rig):

@@ -7,7 +7,6 @@ tree and that invariants I1-I3 hold.
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.octree import morton
@@ -67,13 +66,12 @@ def test_random_ops_preserve_consistency(ops):
     rig = PMRig(dram_octants=128, nvbm_octants=1 << 14)
     t = rig.tree
     model = ModelTree()
-    rng = np.random.default_rng(42)
     persisted_once = False
 
     for kind, pick in ops:
         if kind == "refine":
             candidates = sorted(
-                l for l in model.leaves if morton.level_of(l, 2) < MAX_LEVEL
+                leaf for leaf in model.leaves if morton.level_of(leaf, 2) < MAX_LEVEL
             )
             if not candidates:
                 continue
@@ -84,9 +82,9 @@ def test_random_ops_preserve_consistency(ops):
             # parents whose children are all leaves
             parents = sorted(
                 {
-                    morton.parent_of(l, 2)
-                    for l in model.leaves
-                    if l != morton.ROOT_LOC
+                    morton.parent_of(leaf, 2)
+                    for leaf in model.leaves
+                    if leaf != morton.ROOT_LOC
                 }
             )
             parents = [
@@ -108,7 +106,7 @@ def test_random_ops_preserve_consistency(ops):
             t.persist(transform=False)
             model.snapshot()
             persisted_once = True
-            assert _signature(t) == {l: model.payloads[l] for l in model.leaves}
+            assert _signature(t) == {leaf: model.payloads[leaf] for leaf in model.leaves}
             t.check_invariants()
         elif kind == "gc":
             t.gc()
@@ -118,11 +116,11 @@ def test_random_ops_preserve_consistency(ops):
             rig.crash(seed=pick)
             t = rig.restore()
             model.rollback()
-            assert _signature(t) == {l: model.payloads[l] for l in model.leaves}
+            assert _signature(t) == {leaf: model.payloads[leaf] for leaf in model.leaves}
             t.check_invariants()
 
     # final audit
-    assert {l for l in t.leaves()} == model.leaves
+    assert {leaf for leaf in t.leaves()} == model.leaves
     validate_tree(t)
     t.check_invariants()
     t.gc()

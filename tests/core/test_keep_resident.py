@@ -5,9 +5,8 @@ so a subtree that stays hot across persist points is never recopied.  These
 tests pin down the semantics the runtime and Fig 11 depend on.
 """
 
-import pytest
 
-from repro.nvbm.pointers import is_dram, is_nvbm
+from repro.nvbm.pointers import is_dram
 from repro.octree import morton
 from repro.octree.store import validate_tree
 from tests.core.conftest import PMRig

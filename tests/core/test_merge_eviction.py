@@ -1,8 +1,7 @@
 """C0 eviction under DRAM pressure and sharing-aware merging."""
 
-import pytest
 
-from repro.nvbm.pointers import is_dram, is_nvbm
+from repro.nvbm.pointers import is_nvbm
 from repro.octree import morton
 from repro.octree.store import validate_tree
 from tests.core.conftest import PMRig
@@ -37,7 +36,6 @@ def test_tree_larger_than_dram_still_works():
 
 
 def test_lfu_eviction_prefers_cold_subtree():
-    from repro.core.transform import detect_and_transform
 
     rig = PMRig(dram_octants=4096)
     t = rig.tree
@@ -105,7 +103,7 @@ def test_merge_writes_proportional_to_dirt():
         sub = morton.loc_from_coords(1, (0, 0), 2)
         assert load_subtree(t, sub)
         leaves = sorted(
-            l for l in t.leaves() if morton.ancestor_at(l, 2, 1) == sub
+            loc for loc in t.leaves() if morton.ancestor_at(loc, 2, 1) == sub
         )
         for leaf in leaves[:n_dirty]:
             t.set_payload(leaf, (float(n_dirty), 0, 0, 0))
@@ -142,10 +140,10 @@ def test_persist_after_heavy_adaptation():
     t.persist(transform=False)
     # coarsen one quadrant, refine another, persist again
     for parent in sorted(
-        l for l in list(t._index)
-        if morton.level_of(l, 2) == 2
-        and morton.ancestor_at(l, 2, 1) == morton.loc_from_coords(1, (0, 0), 2)
-        and not t.is_leaf(l)
+        loc for loc in list(t._index)
+        if morton.level_of(loc, 2) == 2
+        and morton.ancestor_at(loc, 2, 1) == morton.loc_from_coords(1, (0, 0), 2)
+        and not t.is_leaf(loc)
     ):
         t.coarsen(parent)
     t.persist(transform=False)

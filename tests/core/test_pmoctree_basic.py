@@ -89,7 +89,6 @@ def test_refinement_engine_runs_on_pmoctree(rig):
 
     engine = RefinementEngine(crit, max_level=3)
     engine.adapt(rig.tree, rounds=5)
-    leaf = rig.tree.find_leaf_at((0.01, 0.5)) if hasattr(rig.tree, "find_leaf_at") else None
     validate_tree(rig.tree)
     rig.tree.check_invariants()
 

@@ -13,7 +13,6 @@ import pytest
 from repro.errors import RecoveryError, SimulatedCrash
 from repro.octree import morton
 from repro.octree.store import validate_tree
-from tests.core.conftest import PMRig
 
 
 def _tree_signature(tree):

@@ -1,6 +1,5 @@
 """Replica peer selection (the §3.4/§6 scheduler)."""
 
-import pytest
 
 from repro.core.replication import choose_replica_peer
 from repro.nvbm.records import OctantRecord

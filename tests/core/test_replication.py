@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import DRAM_SPEC, NVBM_SPEC, OCTANT_RECORD_SIZE, PMOctreeConfig
+from repro.config import DRAM_SPEC, NVBM_SPEC, OCTANT_RECORD_SIZE
 from repro.core.replication import (
     ReplicaStore,
     compute_delta,
@@ -15,7 +15,6 @@ from repro.nvbm.clock import SimClock
 from repro.nvbm.pointers import ARENA_DRAM, ARENA_NVBM
 from repro.octree import morton
 from repro.octree.store import validate_tree
-from tests.core.conftest import PMRig
 
 
 def _fresh_arenas():
@@ -117,7 +116,7 @@ def test_swizzling_rewrites_all_pointers(rig):
     replica = ReplicaStore()
     ship_delta(t, replica)
     new_dram, new_nvbm = _fresh_arenas()
-    t2 = restore_from_replica(replica, new_dram, new_nvbm, dim=2)
+    restore_from_replica(replica, new_dram, new_nvbm, dim=2)
     for h in list(new_nvbm.live_handles()):
         rec = new_nvbm.read_octant(h)
         for child in rec.live_children():

@@ -1,6 +1,5 @@
 """Dynamic layout transformation with feature-directed sampling (§3.3)."""
 
-import pytest
 
 from repro.core.transform import (
     candidate_roots,
@@ -8,7 +7,7 @@ from repro.core.transform import (
     sample_frequency,
     subtree_level,
 )
-from repro.nvbm.pointers import is_dram, is_nvbm
+from repro.nvbm.pointers import is_dram
 from repro.octree import morton
 from tests.core.conftest import PMRig
 

@@ -5,7 +5,6 @@ shape claims; these tests run scaled-down variants so the runners' wiring
 and result schemas stay covered by `pytest tests/`.
 """
 
-import numpy as np
 import pytest
 
 from repro.harness import experiments as E

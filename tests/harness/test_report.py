@@ -17,7 +17,7 @@ def test_table_alignment():
     lines = out.split("\n")
     assert lines[0] == "== T =="
     # all body rows share the header row's width
-    widths = {len(l) for l in lines[1:]}
+    widths = {len(loc) for loc in lines[1:]}
     assert len(widths) == 1
     assert "long-header" in lines[1]
     assert lines[2].count("+") == 1  # separator between two columns

@@ -1,6 +1,5 @@
 """MemoryDevice: latency charging, stats merging, wear accounting."""
 
-import pytest
 
 from repro.config import DRAM_SPEC, NVBM_SPEC
 from repro.nvbm.clock import Category, SimClock

@@ -1,9 +1,16 @@
 """Failure injector tests."""
 
+import warnings
+
 import pytest
 
 from repro.errors import SimulatedCrash
-from repro.nvbm.failure import CrashPlan, FailureInjector
+from repro.nvbm import sites
+from repro.nvbm.failure import (
+    CrashPlan,
+    FailureInjector,
+    UnknownCrashSiteWarning,
+)
 
 
 def test_disarmed_sites_are_free():
@@ -29,14 +36,39 @@ def test_fires_at_nth_hit():
 
 def test_disarm():
     inj = FailureInjector()
-    inj.arm("a")
-    inj.arm("b")
-    inj.disarm("a")
-    inj.site("a")
-    assert inj.armed_sites == ["b"]
+    a, b = sites.PERSIST_BEGIN, sites.EVICT_BEGIN
+    inj.arm(a)
+    inj.arm(b)
+    inj.disarm(a)
+    inj.site(a)
+    assert inj.armed_sites == [b]
     inj.disarm()
-    inj.site("b")
+    inj.site(b)
     assert inj.fired == []
+
+
+def test_arm_unknown_site_warns():
+    inj = FailureInjector()
+    with pytest.warns(UnknownCrashSiteWarning, match="presist.begin"):
+        inj.arm("presist.begin")  # typo'd name: armed but can never fire
+    # registered names arm silently
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        inj.arm(sites.PERSIST_BEGIN)
+
+
+def test_registered_site_after_register_does_not_warn():
+    name = "test.custom_site"
+    assert not sites.is_known(name)
+    sites.register(name, "ad-hoc site for this test")
+    try:
+        inj = FailureInjector()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            inj.arm(name)
+    finally:
+        sites.unregister(name)
+    assert not sites.is_known(name)
 
 
 def test_plan_validates_hit_count():
@@ -49,3 +81,18 @@ def test_reset_hits():
     inj.site("s")
     inj.reset_hits()
     assert inj.hits == {}
+
+
+def test_reset_clears_plans_hits_and_fired():
+    inj = FailureInjector()
+    inj.arm(sites.PERSIST_BEGIN, at_hit=1)
+    with pytest.raises(SimulatedCrash):
+        inj.site(sites.PERSIST_BEGIN)
+    inj.arm(sites.EVICT_BEGIN)
+    inj.reset()
+    assert inj.armed_sites == []
+    assert inj.hits == {}
+    assert inj.fired == []
+    # a reset injector behaves like a fresh one
+    inj.site(sites.PERSIST_BEGIN)
+    assert inj.fired == []

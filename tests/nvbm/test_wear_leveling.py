@@ -5,7 +5,7 @@ from hypothesis import given, strategies as st
 
 from repro.config import NVBM_SPEC
 from repro.errors import InvalidHandleError, OutOfMemoryError
-from repro.nvbm.allocator import RecordAllocator, WearLevelingAllocator
+from repro.nvbm.allocator import WearLevelingAllocator
 from repro.nvbm.arena import MemoryArena
 from repro.nvbm.clock import SimClock
 from repro.nvbm.pointers import ARENA_NVBM
@@ -25,7 +25,7 @@ def test_fifo_recycling_rotates_slots():
 def test_exhaustion_and_validation():
     alloc = WearLevelingAllocator(2)
     a = alloc.alloc()
-    b = alloc.alloc()
+    alloc.alloc()
     with pytest.raises(OutOfMemoryError):
         alloc.alloc()
     alloc.free(a)

@@ -1,6 +1,5 @@
 """2:1 balance tests, including hypothesis-driven random refinement."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.config import DRAM_SPEC
@@ -84,7 +83,7 @@ def test_balance_random_trees_property(seed):
     rng = random.Random(seed)
     tree = _fresh_tree()
     for _ in range(12):
-        leaves = [l for l in tree.leaves() if morton.level_of(l, 2) < 6]
+        leaves = [leaf for leaf in tree.leaves() if morton.level_of(leaf, 2) < 6]
         if not leaves:
             break
         tree.refine(rng.choice(leaves))

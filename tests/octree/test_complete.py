@@ -23,7 +23,7 @@ def test_fill_unaligned_interval():
     # position 1 aligned only to 1 -> level-2 cell; [2,4) aligned to 2? 2 %
     # 4 != 0 at k=1 width=4... width at k=1 is 4, 2%4!=0 -> level-2 cells
     assert len(out) == 3
-    assert all(morton.level_of(l, 2) == 2 for l in out)
+    assert all(morton.level_of(leaf, 2) == 2 for leaf in out)
 
 
 def test_fill_aligned_block_coarsens():
@@ -72,7 +72,7 @@ def test_complete_3d():
 
 
 def _no_full_filler_sibling_groups(lin, seeds, dim):
-    present = set(int(l) for l in lin.locs)
+    present = set(int(leaf) for leaf in lin.locs)
     seeds = set(seeds)
     for loc in present:
         if loc == morton.ROOT_LOC:
@@ -97,7 +97,6 @@ def test_complete_properties(dim, data):
     """Completion tiles the domain, keeps all seeds, and is minimal."""
     max_level = 4 if dim == 2 else 3
     n_seeds = data.draw(st.integers(0, 6))
-    side_bits = max_level
     seeds = set()
     for _ in range(n_seeds):
         level = data.draw(st.integers(1, max_level))

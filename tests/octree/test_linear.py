@@ -1,6 +1,5 @@
 """Linear octree tests: ordering, search, splitting, completeness."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConsistencyError

@@ -22,7 +22,7 @@ def _random_balanced_tree(seed: int, dim: int = 2, max_level: int = 5):
     )
     for _ in range(10):
         leaves = [
-            l for l in tree.leaves() if morton.level_of(l, dim) < max_level
+            leaf for leaf in tree.leaves() if morton.level_of(leaf, dim) < max_level
         ]
         if not leaves:
             break

@@ -29,19 +29,19 @@ def test_engine_refines_matching_leaves(quadtree):
 
 
 def test_engine_respects_max_level(quadtree):
-    engine = RefinementEngine(lambda l, p: Action.REFINE, max_level=2)
+    engine = RefinementEngine(lambda lv, p: Action.REFINE, max_level=2)
     engine.adapt(quadtree, rounds=10)
-    levels = [morton.level_of(l, 2) for l in quadtree.leaves()]
+    levels = [morton.level_of(lv, 2) for lv in quadtree.leaves()]
     assert max(levels) == 2
     assert len(levels) == 16
 
 
 def test_engine_coarsens_on_unanimous_vote(quadtree):
     quadtree.refine_uniform(2)
-    engine = RefinementEngine(lambda l, p: Action.COARSEN, min_level=1)
+    engine = RefinementEngine(lambda lv, p: Action.COARSEN, min_level=1)
     res = engine.adapt(quadtree, rounds=10)
     assert res.coarsened > 0
-    levels = [morton.level_of(l, 2) for l in quadtree.leaves()]
+    levels = [morton.level_of(lv, 2) for lv in quadtree.leaves()]
     assert max(levels) == 1  # stopped by min_level
 
 
@@ -61,14 +61,14 @@ def test_engine_mixed_votes_do_not_coarsen(quadtree):
 
 
 def test_engine_stops_when_stable(quadtree):
-    engine = RefinementEngine(lambda l, p: Action.KEEP)
+    engine = RefinementEngine(lambda lv, p: Action.KEEP)
     res = engine.adapt(quadtree, rounds=100)
     assert not res.changed
 
 
 def test_engine_validates_levels():
     with pytest.raises(ValueError):
-        RefinementEngine(lambda l, p: Action.KEEP, min_level=5, max_level=2)
+        RefinementEngine(lambda lv, p: Action.KEEP, min_level=5, max_level=2)
 
 
 def test_payload_criterion(quadtree):

@@ -37,13 +37,13 @@ def test_leaves_zorder_is_sorted_by_zkey(quadtree):
     quadtree.refine(kids[2])
     leaves = list(leaves_zorder(quadtree))
     assert set(leaves) == set(quadtree.leaves())
-    keys = [morton.zorder_key(l, 2, 4) for l in leaves]
+    keys = [morton.zorder_key(leaf, 2, 4) for leaf in leaves]
     assert keys == sorted(keys)
 
 
 def test_levelorder_is_monotone_in_level(quadtree):
     quadtree.refine_uniform(2)
-    levels = [morton.level_of(l, 2) for l in levelorder(quadtree)]
+    levels = [morton.level_of(leaf, 2) for leaf in levelorder(quadtree)]
     assert levels == sorted(levels)
 
 

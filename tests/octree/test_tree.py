@@ -75,7 +75,7 @@ def test_refine_uniform(quadtree):
     quadtree.refine_uniform(3)
     leaves = list(quadtree.leaves())
     assert len(leaves) == 4**3
-    assert all(morton.level_of(l, 2) == 3 for l in leaves)
+    assert all(morton.level_of(leaf, 2) == 3 for leaf in leaves)
     # total octants: 1 + 4 + 16 + 64
     assert quadtree.num_octants() == 85
     validate_tree(quadtree)

@@ -1,6 +1,5 @@
 """Network cost model tests."""
 
-import math
 
 import pytest
 

@@ -3,14 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.config import DRAM_SPEC, GEMINI_SPEC
 from repro.errors import PartitionError
 from repro.octree import morton
 from repro.octree.linear import LinearOctree
 from repro.parallel.cluster import SimulatedCluster
-from repro.parallel.network import Network
 from repro.parallel.partition import repartition
-from repro.parallel.simmpi import RankContext, SimCommunicator
 
 
 def _uniform_leaves(level, dim=2):
@@ -55,12 +52,12 @@ def test_preserves_octant_set_and_payloads():
         LinearOctree(2, [], max_level=2),
         LinearOctree(2, [], max_level=2),
     ]
-    before = {int(l): tuple(p) for l, p in zip(pieces[0].locs, pieces[0].payloads)}
+    before = {int(leaf): tuple(p) for leaf, p in zip(pieces[0].locs, pieces[0].payloads)}
     res = repartition(cluster.comm, pieces)
     after = {}
     for p in res.pieces:
-        for l, pay in zip(p.locs, p.payloads):
-            after[int(l)] = tuple(pay)
+        for leaf, pay in zip(p.locs, p.payloads):
+            after[int(leaf)] = tuple(pay)
     assert after == before
 
 

@@ -1,6 +1,5 @@
 """Parallel runtime: backend wiring, scaling model, result accounting."""
 
-import numpy as np
 import pytest
 
 from repro.config import SolverConfig
@@ -8,7 +7,6 @@ from repro.octree.linear import LinearOctree
 from repro.parallel.runtime import (
     Backend,
     RunConfig,
-    RunResult,
     _equal_cuts,
     _ownership_counts,
     run_parallel,

@@ -1,7 +1,6 @@
 """Hilbert indexing and partition-quality metrics."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.octree import morton
 from repro.parallel.sfc import (
@@ -143,7 +142,7 @@ def test_hilbert_no_worse_on_random_adaptive_trees():
         )
         tree.refine_uniform(2)
         for _ in range(8):
-            leaves = [l for l in tree.leaves() if morton.level_of(l, 2) < 5]
+            leaves = [leaf for leaf in tree.leaves() if morton.level_of(leaf, 2) < 5]
             if leaves:
                 tree.refine(rng.choice(leaves))
         balance_tree(tree, max_level=5)

@@ -14,7 +14,7 @@ from repro.solver.wave import WaveConfig, WaveSimulation
 def test_droplet_3d_on_pointer_octree(octree3d):
     cfg = SolverConfig(dim=3, min_level=2, max_level=3, dt=0.01)
     sim = DropletSimulation(octree3d, cfg)
-    reports = sim.run(6)
+    sim.run(6)
     validate_tree(octree3d)
     assert is_balanced(octree3d)
     # the jet column exists: liquid on the axis near the bottom
@@ -39,10 +39,10 @@ def test_droplet_3d_on_pm_octree():
     sim.run(4)
     rig.tree.check_invariants()
     validate_tree(rig.tree)
-    sig = {l: rig.tree.get_payload(l) for l in rig.tree.leaves()}
+    sig = {loc: rig.tree.get_payload(loc) for loc in rig.tree.leaves()}
     rig.crash()
     t = rig.restore()
-    assert {l: t.get_payload(l) for l in t.leaves()} == sig
+    assert {loc: t.get_payload(loc) for loc in t.leaves()} == sig
 
 
 def test_wave_3d(octree3d):

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.config import SolverConfig
-from repro.nvbm.clock import Category, SimClock
+from repro.nvbm.clock import SimClock
 from repro.octree import morton
 from repro.octree.balance import is_balanced
 from repro.octree.store import validate_tree
@@ -145,10 +145,10 @@ def test_simulation_on_pm_octree():
     rig.tree.check_invariants()
     validate_tree(rig.tree)
     # crash and recover mid-simulation
-    sig = {l: rig.tree.get_payload(l) for l in rig.tree.leaves()}
+    sig = {leaf: rig.tree.get_payload(leaf) for leaf in rig.tree.leaves()}
     rig.crash()
     t = rig.restore()
-    assert {l: t.get_payload(l) for l in t.leaves()} == sig
+    assert {leaf: t.get_payload(leaf) for leaf in t.leaves()} == sig
 
 
 def test_simulation_rejects_dim_mismatch(quadtree):

@@ -35,7 +35,7 @@ def test_field_pulse_shape():
 def test_simulation_tracks_expanding_ring(quadtree):
     cfg = WaveConfig(dim=2, min_level=2, max_level=5, dt=0.02)
     sim = WaveSimulation(quadtree, cfg)
-    reports = sim.run(10)
+    sim.run(10)
     validate_tree(quadtree)
     assert is_balanced(quadtree)
     # fine cells hug the front
@@ -82,10 +82,10 @@ def test_wave_on_pm_octree_with_persistence():
     sim.run(6)
     rig.tree.check_invariants()
     validate_tree(rig.tree)
-    sig = {l: rig.tree.get_payload(l) for l in rig.tree.leaves()}
+    sig = {leaf: rig.tree.get_payload(leaf) for leaf in rig.tree.leaves()}
     rig.crash()
     t = rig.restore()
-    assert {l: t.get_payload(l) for l in t.leaves()} == sig
+    assert {leaf: t.get_payload(leaf) for leaf in t.leaves()} == sig
 
 
 def test_wave_feature_predicts_front(quadtree):

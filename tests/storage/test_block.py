@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import DISK_SPEC, NVBM_FS_SPEC, BlockDeviceSpec
+from repro.config import DISK_SPEC, NVBM_FS_SPEC
 from repro.errors import StorageError
 from repro.nvbm.clock import Category, SimClock
 from repro.storage.block import BlockDevice

@@ -5,7 +5,7 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.config import NVBM_FS_SPEC, BlockDeviceSpec
+from repro.config import BlockDeviceSpec
 from repro.nvbm.clock import SimClock
 from repro.storage.block import BlockDevice
 from repro.storage.btree import BTree

@@ -53,6 +53,37 @@ def test_export_vtk(tmp_path, capsys):
     assert "SCALARS vof double 1" in content
 
 
+def test_analyze_static(capsys):
+    assert main(["analyze", "--static"]) == 0
+    assert "pmlint: clean" in capsys.readouterr().out
+
+
+def test_analyze_static_json(capsys):
+    import json
+
+    assert main(["analyze", "--static", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    assert payload["sections"]["static"] == []
+    assert payload["counts"]["static"] == 0
+
+
+def test_analyze_static_flags_planted_bug(tmp_path, capsys):
+    bad = tmp_path / "planted.py"
+    bad.write_text(
+        "def persist(self):\n"
+        "    self.nvbm.new_octant(rec)\n"
+        "    self.nvbm.roots.set(SLOT_PREV, h)\n"
+    )
+    assert main(["analyze", "--static", "--path", str(bad)]) == 1
+    assert "missing-flush" in capsys.readouterr().out
+
+
+def test_analyze_trace(capsys):
+    assert main(["analyze", "--trace", "--steps", "3"]) == 0
+    assert "ordering trace: clean" in capsys.readouterr().out
+
+
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])

@@ -18,7 +18,6 @@ from repro.config import (
     PMOctreeConfig,
     SolverConfig,
     TITAN,
-    DeviceSpec,
 )
 
 

@@ -55,7 +55,7 @@ def test_implementations_agree_on_random_ops(ops):
     for kind, pick in ops:
         if kind == "refine":
             cands = sorted(
-                l for l in leaves if morton.level_of(l, 2) < MAX_LEVEL
+                leaf for leaf in leaves if morton.level_of(leaf, 2) < MAX_LEVEL
             )
             if not cands:
                 continue
@@ -66,7 +66,7 @@ def test_implementations_agree_on_random_ops(ops):
             leaves.update(morton.children_of(loc, 2))
         elif kind == "coarsen":
             parents = sorted({
-                morton.parent_of(l, 2) for l in leaves if l != morton.ROOT_LOC
+                morton.parent_of(leaf, 2) for leaf in leaves if leaf != morton.ROOT_LOC
             })
             parents = [
                 p for p in parents

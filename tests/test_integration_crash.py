@@ -7,7 +7,6 @@ the final state must be bit-identical to an uninterrupted reference run —
 the strongest end-to-end statement the recovery path can make.
 """
 
-import numpy as np
 import pytest
 
 from repro.config import SolverConfig
