@@ -288,9 +288,104 @@ def _replica_driver(site: str, max_steps: int, seed: int) -> SweepOutcome:
                         matched="last-persist")
 
 
+def _protocol_driver(site: str, max_steps: int, seed: int) -> SweepOutcome:
+    """replica.ship.* / replica.resync.begin: crash inside the replication
+    protocol, then verify both recovery paths still work.
+
+    The host crashes mid-ship (before send / after the peer applied / after
+    the ack / at the start of a resync).  The invariants: the host's local
+    restore lands exactly on its last persisted version (shipping never
+    gates the local commit), and a fresh session converges the replica so a
+    replacement-node restore reproduces the same version.
+    """
+    from repro.core.replication import ReplicaSession, restore_from_replica
+
+    rig = _Rig()
+    tree = rig.tree
+    for _ in range(2):
+        for leaf in list(tree.leaves()):
+            tree.refine(leaf)
+    tree.persist(transform=False)
+    session = ReplicaSession(tree)
+    session.ship()  # replica holds version 1
+
+    # a second persisted version, shipped with the site armed
+    for i, leaf in enumerate(sorted(tree.leaves())[:4]):
+        tree.set_payload(leaf, (float(i), 1.0, 0.0, 0.0))
+    tree.persist(transform=False)
+    persisted_sig = _signature(tree)
+    replica = session.replica
+
+    if site == site_registry.REPLICA_RESYNC_BEGIN:
+        # Divergence needs a host whose session state died with it: crash
+        # and restore first, then re-ship through a fresh session — the
+        # peer's non-empty store classifies the delta as diverged.
+        rig.crash(seed)
+        tree = rig.restore()
+        session = ReplicaSession(tree, replica=replica)
+
+    rig.injector.reset_hits()
+    rig.injector.arm(site, at_hit=1)
+    fired = False
+    try:
+        session.ship()
+    except SimulatedCrash:
+        fired = True
+    if not fired:
+        return SweepOutcome(site=site, fired=False, recovered=None,
+                            detail="ship never visited the site")
+
+    # host power-loss mid-protocol: local restore must land on the persist
+    rig.crash(seed)
+    try:
+        restored = rig.restore()
+        restored.check_invariants()
+    except ReproError as exc:
+        return SweepOutcome(site=site, fired=True, recovered=False,
+                            detail=f"recovery failed: {exc}")
+    if _signature(restored) != persisted_sig:
+        return SweepOutcome(
+            site=site, fired=True, recovered=False,
+            detail="local restore does not match the persisted version",
+        )
+
+    # the protocol must still converge the replica after the crash ...
+    fresh = ReplicaSession(restored, replica=replica)
+    try:
+        fresh.ship()
+    except ReproError as exc:
+        return SweepOutcome(site=site, fired=True, recovered=False,
+                            detail=f"post-crash ship failed: {exc}")
+    if not fresh.protected:
+        return SweepOutcome(site=site, fired=True, recovered=False,
+                            detail="session not protected after re-ship")
+    # ... so a replacement node can materialise the same version from it
+    clock2 = SimClock()
+    dram2 = MemoryArena(ARENA_DRAM, DRAM_SPEC, clock2, 2048)
+    nvbm2 = MemoryArena(ARENA_NVBM, NVBM_SPEC, clock2, 1 << 15)
+    try:
+        from_replica = restore_from_replica(replica, dram2, nvbm2, dim=2)
+        from_replica.check_invariants()
+    except ReproError as exc:
+        return SweepOutcome(site=site, fired=True, recovered=False,
+                            detail=f"replica restore failed: {exc}")
+    if _signature(from_replica) != persisted_sig:
+        return SweepOutcome(
+            site=site, fired=True, recovered=False,
+            detail="replica restore does not match the persisted version",
+        )
+    return SweepOutcome(site=site, fired=True, recovered=True,
+                        matched="last-persist",
+                        violations=len(rig.tracker.violations))
+
+
 _DRIVERS: Dict[str, Callable[[str, int, int], SweepOutcome]] = {
     site_registry.ROOTS_SWAP_MID: _swap_driver,
     site_registry.REPLICA_BEFORE_PUBLISH: _replica_driver,
+    site_registry.REPLICA_SHIP_BEFORE_SEND: _protocol_driver,
+    site_registry.REPLICA_SHIP_AFTER_APPLY: _protocol_driver,
+    site_registry.REPLICA_SHIP_BEFORE_ACK: _protocol_driver,
+    site_registry.REPLICA_RESYNC_BEGIN: _protocol_driver,
 }
 
 

@@ -4,11 +4,13 @@
     python -m repro experiment fig10
     python -m repro recover
     python -m repro analyze --static --trace --sweep
+    python -m repro chaos --trials 25 --seed 0
     python -m repro export-vtk --out mesh.vtk --steps 40
     python -m repro list
 
 Every command prints the same tables the benchmark suite asserts on.
-``analyze`` exits non-zero on any finding, so CI can gate on it.
+``analyze`` and ``chaos`` exit non-zero on any finding, so CI can gate
+on them.
 """
 
 from __future__ import annotations
@@ -238,6 +240,45 @@ def _cmd_analyze(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_chaos(args) -> int:
+    """Seeded chaos run: random fault schedules, recovery invariants."""
+    from repro.harness.chaos import run_chaos
+    from repro.harness.report import render_json
+
+    report = run_chaos(trials=args.trials, seed=args.seed, steps=args.steps,
+                       break_acks=args.break_acks, only_trial=args.trial)
+
+    if args.json:
+        sections = {
+            "trials": [t.to_row() for t in report.trials],
+            "reproducer": ([report.reproducer]
+                           if report.reproducer is not None else []),
+        }
+        print(render_json(sections, report.ok))
+        return 0 if report.ok else 1
+
+    print_table(
+        f"chaos (seed={report.seed}, {len(report.trials)} trials)",
+        ["trial", "outcome", "steps", "recoveries", "retries", "resyncs",
+         "wait (ms)", "events"],
+        [(r["trial"], r["outcome"], r["steps"], r["recoveries"],
+          r["retries"], r["resyncs"], r["wait_ms"], r["events"])
+         for r in (t.to_row() for t in report.trials)],
+    )
+    print(f"\nchaos: {report.passed} passed, {report.failed} failed")
+    for t in report.trials:
+        if t.outcome == "degraded":
+            print(f"  trial {t.trial}: Degraded — {t.degraded_reason}")
+    if report.reproducer is not None:
+        rep = report.reproducer
+        print("\nFAILURE — minimal seeded reproducer:")
+        for v in rep["violations"]:
+            print(f"  violation: {v}")
+        print(f"  minimal schedule: {rep['minimal_schedule']}")
+        print(f"  replay with: {rep['command']}")
+    return 0 if report.ok else 1
+
+
 def _cmd_export_vtk(args) -> int:
     from repro.config import SolverConfig
     from repro.octree.vtkout import tree_to_vtk
@@ -299,6 +340,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--path", nargs="*",
                    help="files/directories for --static (default: repro)")
     p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser(
+        "chaos",
+        help="run seeded randomized fault schedules against the recovery "
+             "stack and assert the fault-tolerance invariants",
+    )
+    p.add_argument("--trials", type=int, default=25,
+                   help="number of seeded trials to run")
+    p.add_argument("--seed", type=int, default=0,
+                   help="master seed; (seed, trial) determines everything")
+    p.add_argument("--steps", type=int, default=10,
+                   help="workload steps per trial")
+    p.add_argument("--trial", type=int, default=None,
+                   help="replay exactly one trial index (reproducer mode)")
+    p.add_argument("--break-acks", action="store_true",
+                   help="deliberately ignore protocol acks (harness "
+                        "self-test: the run must fail)")
+    p.add_argument("--json", action="store_true",
+                   help="emit one machine-readable JSON report")
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("export-vtk", help="simulate and write a VTK mesh")
     p.add_argument("--out", default="mesh.vtk")

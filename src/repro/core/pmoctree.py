@@ -97,6 +97,9 @@ class PMOctree:
         #: attached remote replica (§3.4's V^P), shipped to at every persist
         self.replica = None
         self.on_replica_ship: Optional[Callable[[int], None]] = None
+        #: attached ReplicaSession; when set, persist ships through the
+        #: acknowledged retry/backoff protocol instead of a direct apply
+        self.replicator = None
 
         # volatile acceleration state (rebuilt by recovery)
         self._index: Dict[int, int] = {}
@@ -490,7 +493,14 @@ class PMOctree:
         self.nvbm.flush()
         if self.nvbm.free_fraction < self.config.threshold_nvbm:
             self.gc()
-        if self.replica is not None:
+        if self.replicator is not None:
+            # Acknowledged protocol path: may retry/backoff on the sim
+            # clock and raises ReplicationTimeoutError if the peer stays
+            # unreachable — the local persist above already committed.
+            report = self.replicator.ship()
+            if self.on_replica_ship is not None:
+                self.on_replica_ship(report.bytes_shipped)
+        elif self.replica is not None:
             # §3.4: "when the crashed node will not be available, delta
             # octants need to be copied to other compute nodes"
             from repro.core.replication import ship_delta
@@ -516,6 +526,22 @@ class PMOctree:
         self.replica = replica if replica is not None else ReplicaStore()
         self.on_replica_ship = on_ship
         return self.replica
+
+    def attach_replication_session(self, session,
+                                   on_ship: Optional[Callable[[int], None]]
+                                   = None):
+        """Replicate through an acknowledged :class:`ReplicaSession`.
+
+        Unlike :meth:`enable_replication` (direct apply, perfect network),
+        every persist now runs the sequenced retry/backoff protocol; a
+        persistently unreachable peer surfaces as
+        :class:`~repro.errors.ReplicationTimeoutError` from ``persist()``.
+        """
+        self.replicator = session
+        self.replica = session.replica
+        if on_ship is not None:
+            self.on_replica_ship = on_ship
+        return session
 
     def _load_static_chunk(self) -> None:
         """Load the first budget-sized subtree (by locational code) into C0."""

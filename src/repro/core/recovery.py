@@ -15,10 +15,16 @@ tests hammer exactly this.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from repro.config import PMOctreeConfig
-from repro.errors import ConsistencyError, RecoveryError
+from repro.errors import (
+    ConsistencyError,
+    RecoveryError,
+    ReplicationTimeoutError,
+    ReproError,
+)
 from repro.nvbm.arena import MemoryArena
 from repro.nvbm.failure import FailureInjector
 from repro.nvbm.pointers import NULL_HANDLE, is_nvbm
@@ -123,6 +129,7 @@ def attach_and_restore(dram: MemoryArena, nvbm: MemoryArena, dim: int = 2,
     pmo.features = []
     pmo.replica = None
     pmo.on_replica_ship = None
+    pmo.replicator = None
     pmo._index = {}
     pmo._leaf_set = set()
     pmo._c0_roots = {}
@@ -131,3 +138,159 @@ def attach_and_restore(dram: MemoryArena, nvbm: MemoryArena, dim: int = 2,
     pmo._superseded = []
     restore_inplace(pmo)
     return pmo
+
+
+# ------------------------------------------------------- multi-failure recovery
+
+
+@dataclass
+class Recovered:
+    """A host loss was survived; the tree is live again.
+
+    ``protected`` reports whether re-replication onto a fresh peer
+    succeeded — recovery *always* attempts it (a recovered-but-unprotected
+    host is one failure away from data loss), but no live peer on another
+    node, or an unreachable one, leaves the host temporarily unprotected.
+    """
+
+    kind: str                      #: "local" (NVBM survived) or "replica"
+    host_rank: int                 #: rank serving the tree after recovery
+    tree: "PMOctree"
+    protected: bool
+    replica_peer: Optional[int] = None  #: peer now holding V^P, if any
+    session: Optional[object] = None    #: live ReplicaSession, if protected
+    detail: str = ""
+
+    @property
+    def degraded(self) -> bool:
+        return False
+
+
+@dataclass
+class Degraded:
+    """Typed unrecoverable-by-replication outcome (never a stack trace).
+
+    Both the host's NVBM and its replica are gone (concurrent host+peer
+    loss, or host loss with no replica shipped yet): the caller must fall
+    back to a snapshot-style restart — re-running the application from its
+    last external checkpoint or from scratch — which is a *policy*
+    decision, so it is reported, not raised.
+    """
+
+    reason: str
+    lost_ranks: Tuple[int, ...] = field(default_factory=tuple)
+    snapshot_restart: bool = True
+
+    @property
+    def degraded(self) -> bool:
+        return True
+
+
+def reprotect(cluster, tree, host_rank: int, policy=None,
+              break_acks: bool = False):
+    """Mandatory post-recovery re-replication onto a freshly chosen peer.
+
+    Returns ``(session, peer_rank, detail)``; session/peer are ``None``
+    when no live peer exists on another node or the full ship could not be
+    acknowledged (the host then runs unprotected until the next persist
+    retries through the attached session or the caller re-calls this).
+    """
+    from repro.core.replication import (
+        FaultyTransport,
+        PerfectTransport,
+        ReplicaSession,
+        choose_replica_peer,
+    )
+    from repro.parallel.faults import FaultyNetwork
+
+    peer = choose_replica_peer(cluster, host_rank)
+    if peer is None:
+        return None, None, "no live peer on another node"
+    clock = cluster.ranks[host_rank].clock
+    if isinstance(cluster.network, FaultyNetwork):
+        transport = FaultyTransport(cluster.network, host_rank, peer,
+                                    clock=clock)
+    else:
+        transport = PerfectTransport()
+    session = ReplicaSession(tree, transport=transport, clock=clock,
+                             policy=policy, break_acks=break_acks)
+    tree.attach_replication_session(session)
+    try:
+        session.ship()
+    except ReplicationTimeoutError as exc:
+        return None, None, f"re-replication to rank {peer} timed out: {exc}"
+    return session, peer, f"replica re-established on rank {peer}"
+
+
+def recover_host(cluster, host_rank: int, *,
+                 replica=None, replica_peer: Optional[int] = None,
+                 host_node_returns: bool = False,
+                 new_host: Optional[int] = None,
+                 dim: int = 2, config: Optional[PMOctreeConfig] = None,
+                 policy=None, break_acks: bool = False):
+    """Drive recovery of one lost host through every §3.4 scenario.
+
+    * ``host_node_returns=True`` — the node rebooted: its NVBM backing
+      survived, restore in place (scenario 1) even if the replica is also
+      gone (host-loss-then-replica-loss).
+    * host gone for good, replica alive on ``replica_peer`` — materialise
+      the replica on ``new_host`` (default: the peer itself), scenario 2.
+    * host gone *and* replica unavailable (peer dead, or nothing shipped)
+      — :class:`Degraded`, never an unhandled exception.
+
+    Every successful path ends with mandatory re-replication
+    (:func:`reprotect`): the system must re-enter a protected state or
+    explicitly report that it could not.
+    """
+    lost = tuple(r.rank for r in cluster.ranks if not r.alive)
+
+    if host_node_returns:
+        ctx = cluster.revive_rank(host_rank)
+        try:
+            tree = attach_and_restore(ctx.resources["dram"],
+                                      ctx.resources["nvbm"],
+                                      dim=dim, config=config)
+        except ReproError as exc:
+            return Degraded(reason=f"local NVBM restore failed: {exc}",
+                            lost_ranks=lost)
+        kind, serving = "local", host_rank
+    else:
+        peer_alive = (replica_peer is not None
+                      and cluster.ranks[replica_peer].alive)
+        if replica is None or not replica.records or not peer_alive:
+            why = ("replica peer died with the host"
+                   if replica is not None and replica.records
+                   else "no replica was ever shipped")
+            return Degraded(
+                reason=f"host rank {host_rank} lost and {why}",
+                lost_ranks=lost,
+            )
+        serving = new_host if new_host is not None else replica_peer
+        ctx = cluster.ranks[serving]
+        if not ctx.alive:
+            return Degraded(
+                reason=f"replacement host rank {serving} is dead",
+                lost_ranks=lost,
+            )
+        try:
+            tree = restore_from_replica_arenas(replica, ctx, dim=dim,
+                                               config=config)
+        except ReproError as exc:
+            return Degraded(reason=f"replica materialisation failed: {exc}",
+                            lost_ranks=lost)
+        kind = "replica"
+
+    session, peer, detail = reprotect(cluster, tree, serving,
+                                      policy=policy, break_acks=break_acks)
+    return Recovered(kind=kind, host_rank=serving, tree=tree,
+                     protected=session is not None, replica_peer=peer,
+                     session=session, detail=detail)
+
+
+def restore_from_replica_arenas(replica, ctx, dim: int = 2,
+                                config: Optional[PMOctreeConfig] = None):
+    """Materialise ``replica`` into a rank context's own arenas."""
+    from repro.core.replication import restore_from_replica
+
+    return restore_from_replica(replica, ctx.resources["dram"],
+                                ctx.resources["nvbm"], dim=dim, config=config)

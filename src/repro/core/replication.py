@@ -6,6 +6,14 @@ peer node.  Only *deltas* are shipped per persist — the records the peer has
 not seen yet — which is cheap because the overlap ratio between adjacent
 persistent versions is high (Fig 3).
 
+Shipping is a real protocol, not a function call: a
+:class:`ReplicaSession` sequences every delta, requires an acknowledgement
+from the peer, retries with exponential backoff (charged to the simulated
+clock) when the network loses the delta or the ack, is idempotent under
+duplicate delivery, and falls back to a full resync when the peer's state
+chain diverges from what the host expects.  See
+``docs/fault-tolerance.md`` for the protocol state machine.
+
 Recovering onto a replacement node materialises the replica into a fresh
 NVBM arena.  Handles embed the arena they belong to, so every parent/child
 pointer must be rewritten for the new arena — the pointer-swizzling chore
@@ -14,20 +22,26 @@ pointer must be rewritten for the new arena — the pointer-swizzling chore
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Optional, Set, Tuple
 
 from repro.config import OCTANT_RECORD_SIZE, PMOctreeConfig
-from repro.errors import RecoveryError
+from repro.errors import RecoveryError, ReplicationTimeoutError
 from repro.nvbm import sites
 from repro.nvbm.arena import MemoryArena
+from repro.nvbm.clock import Category, SimClock
 from repro.nvbm.failure import FailureInjector
 from repro.nvbm.pointers import NULL_HANDLE
 from repro.nvbm.records import unpack_record
+from repro.parallel.faults import ACK_BYTES, Delivery, FaultyNetwork
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.pmoctree import PMOctree
 
 from repro.core.pmoctree import SLOT_PREV
+
+#: Wire overhead of one DELTA message (seq, base root, new root, counts).
+DELTA_HEADER_BYTES = 64
 
 
 def choose_replica_peer(cluster, host_rank: int) -> Optional[int]:
@@ -56,11 +70,19 @@ def choose_replica_peer(cluster, host_rank: int) -> Optional[int]:
 
 
 class ReplicaStore:
-    """Holds record images of a persistent version, keyed by origin handle."""
+    """Holds record images of a persistent version, keyed by origin handle.
+
+    The store is the *peer side* of the replication protocol: it tracks the
+    monotonic sequence number of the last applied delta and only accepts a
+    delta whose base root matches its current root — out-of-order or
+    replayed messages are classified instead of blindly applied.
+    """
 
     def __init__(self) -> None:
         self.records: Dict[int, bytes] = {}
         self.root: int = NULL_HANDLE
+        #: sequence number of the last applied delta (0 = nothing applied)
+        self.applied_seq: int = 0
 
     @property
     def known_handles(self) -> Set[int]:
@@ -69,11 +91,55 @@ class ReplicaStore:
     def bytes_stored(self) -> int:
         return len(self.records) * OCTANT_RECORD_SIZE
 
+    # -- protocol peer side --------------------------------------------------
 
-def compute_delta(pmo: "PMOctree", replica: ReplicaStore) -> Tuple[Dict[int, bytes], int]:
+    def classify(self, seq: int, base_root: int, new_root: int) -> str:
+        """Triage one incoming DELTA header without touching state.
+
+        * ``"duplicate"`` — this exact delta was already applied (a
+          retransmit after a lost ack, or a network duplicate): re-ack.
+        * ``"apply"`` — next in sequence and chained on our root: apply.
+        * ``"diverged"`` — anything else; the sender must full-resync.
+        """
+        if seq <= self.applied_seq:
+            return "duplicate" if new_root == self.root else "diverged"
+        if seq == self.applied_seq + 1 and base_root == self.root:
+            return "apply"
+        return "diverged"
+
+    def apply_delta(self, seq: int, base_root: int,
+                    records: Dict[int, bytes], new_root: int,
+                    reachable: Set[int]) -> str:
+        """Idempotently apply one DELTA message; returns the classification."""
+        status = self.classify(seq, base_root, new_root)
+        if status != "apply":
+            return status
+        self.records.update(records)
+        self.root = new_root
+        # Drop records no longer part of the persistent version (the peer
+        # garbage-collects too, or the replica would grow without bound).
+        for h in list(self.records):
+            if h not in reachable:
+                del self.records[h]
+        self.applied_seq = seq
+        return "applied"
+
+    def force_sync(self, seq: int, records: Dict[int, bytes],
+                   root: int) -> None:
+        """Full resync: replace the entire store (divergence recovery)."""
+        self.records = dict(records)
+        self.root = root
+        self.applied_seq = seq
+
+
+def compute_delta(pmo: "PMOctree", replica: ReplicaStore
+                  ) -> Tuple[Dict[int, bytes], int, Set[int]]:
     """Records of the current persistent version the replica lacks.
 
-    Returns ``(records, root_handle)``.  Raises when nothing was persisted.
+    Returns ``(records, root_handle, reachable)`` — the reachable set is
+    computed exactly once here and reused by the caller for replica GC
+    (recomputing it per ship was a measurable waste; the regression test
+    counts the traversals).  Raises when nothing was persisted.
     """
     root = pmo.nvbm.roots.get(SLOT_PREV)
     if root == NULL_HANDLE:
@@ -84,25 +150,256 @@ def compute_delta(pmo: "PMOctree", replica: ReplicaStore) -> Tuple[Dict[int, byt
         for h in reachable
         if h not in replica.records
     }
-    return delta, root
+    return delta, root, reachable
 
 
 def ship_delta(pmo: "PMOctree", replica: ReplicaStore) -> int:
-    """Apply the delta to the replica; returns bytes shipped.
+    """Apply the delta to the replica directly; returns bytes shipped.
 
-    The caller charges the returned byte count to its network model — the
-    replica object itself is placement-agnostic.
+    This is the *perfect-network* path (one process, no loss): the caller
+    charges the returned byte count to its network model.  Over a lossy
+    network use :class:`ReplicaSession`, which adds sequencing, acks and
+    retry/backoff on top of the same delta computation.
     """
-    delta, root = compute_delta(pmo, replica)
+    delta, root, reachable = compute_delta(pmo, replica)
     replica.records.update(delta)
     replica.root = root
-    # Drop replica records no longer part of the persistent version (the
-    # peer garbage-collects too, or the replica would grow without bound).
-    reachable = pmo.reachable_from(root)
     for h in list(replica.records):
         if h not in reachable:
             del replica.records[h]
+    replica.applied_seq += 1
     return len(delta) * OCTANT_RECORD_SIZE
+
+
+# --------------------------------------------------------------------- protocol
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/backoff tunables for one replication session.
+
+    All times are simulated nanoseconds; every wait is charged to the
+    session clock so retry behaviour is visible in the makespan, not
+    hidden in wall time.
+    """
+
+    ack_timeout_ns: float = 20_000.0
+    base_backoff_ns: float = 50_000.0
+    backoff_factor: float = 2.0
+    max_retries: int = 8
+
+    def backoff_ns(self, attempt: int) -> float:
+        """Backoff charged after the ``attempt``-th failed try (1-based)."""
+        return self.base_backoff_ns * self.backoff_factor ** (attempt - 1)
+
+
+@dataclass
+class ShipReport:
+    """What one acknowledged ship actually took."""
+
+    seq: int
+    bytes_shipped: int
+    records: int
+    attempts: int
+    resynced: bool
+    duplicates_ignored: int
+    wait_ns: float  #: timeout + backoff time charged to the sim clock
+
+
+@dataclass
+class SessionStats:
+    ships: int = 0
+    retries: int = 0
+    resyncs: int = 0
+    acks_lost: int = 0
+    deltas_lost: int = 0
+    duplicates_ignored: int = 0
+    bytes_shipped: int = 0
+    wait_ns: float = 0.0
+
+
+class PerfectTransport:
+    """Loss-free transport (single-process tests, staging links)."""
+
+    def __init__(self, cost_ns_per_byte: float = 0.0):
+        self.cost_ns_per_byte = cost_ns_per_byte
+
+    def send_data(self, nbytes: int) -> Delivery:
+        return Delivery(delivered=True, copies=1,
+                        cost_ns=nbytes * self.cost_ns_per_byte)
+
+    def send_ack(self) -> Delivery:
+        return Delivery(delivered=True, copies=1,
+                        cost_ns=ACK_BYTES * self.cost_ns_per_byte)
+
+
+class FaultyTransport:
+    """Host<->peer link over a :class:`FaultyNetwork`.
+
+    Data messages travel host->peer; acks travel peer->host on the
+    *reverse* link, so asymmetric fault plans behave correctly.
+    """
+
+    def __init__(self, network: FaultyNetwork, host_rank: int,
+                 peer_rank: int, clock: Optional[SimClock] = None):
+        self.network = network
+        self.host_rank = host_rank
+        self.peer_rank = peer_rank
+        self.clock = clock
+
+    def _now(self) -> float:
+        return self.clock.now_ns if self.clock is not None else 0.0
+
+    def send_data(self, nbytes: int) -> Delivery:
+        return self.network.send(self.host_rank, self.peer_rank, nbytes,
+                                 self._now())
+
+    def send_ack(self) -> Delivery:
+        return self.network.send(self.peer_rank, self.host_rank, ACK_BYTES,
+                                 self._now())
+
+
+class ReplicaSession:
+    """Sequenced, acknowledged, idempotent delta shipping to one peer.
+
+    Host-side state is volatile (it dies with the host process): the
+    monotonic ``next_seq`` and ``peer_root`` — the persistent root the host
+    believes the peer holds.  A freshly constructed session therefore
+    assumes nothing (``peer_root = NULL``); if the peer's store is actually
+    non-empty the first DELTA is classified ``diverged`` and the session
+    falls back to a full resync, which is always safe.
+
+    One ``ship()`` = one state-machine run::
+
+        IDLE -> SEND_DELTA -> WAIT_ACK -> DONE
+                   ^  |            |
+                   |  +- diverged -+--> RESYNC (full records) -> WAIT_ACK
+                   +--- timeout: backoff, retry (bounded) ------+
+
+    Every lost delta or lost ack charges ``ack_timeout + backoff`` to the
+    simulated clock; exhausting ``max_retries`` raises
+    :class:`~repro.errors.ReplicationTimeoutError` — the host's own
+    persistent version is unaffected, only remote protection stalls.
+
+    ``break_acks=True`` makes the host ignore every acknowledgement — a
+    deliberately broken protocol used to validate that the chaos harness
+    detects replication that cannot converge.  Never set it outside tests.
+    """
+
+    def __init__(self, pmo: "PMOctree", replica: Optional[ReplicaStore] = None,
+                 transport=None, clock: Optional[SimClock] = None,
+                 policy: Optional[RetryPolicy] = None,
+                 injector: Optional[FailureInjector] = None,
+                 break_acks: bool = False):
+        self.pmo = pmo
+        self.replica = replica if replica is not None else ReplicaStore()
+        self.transport = transport or PerfectTransport()
+        self.clock = clock if clock is not None else pmo.nvbm.device.clock
+        self.policy = policy or RetryPolicy()
+        self.injector = injector or pmo.injector
+        self.break_acks = break_acks
+        self.next_seq = 1
+        self.peer_root = NULL_HANDLE
+        self.stats = SessionStats()
+
+    # -- helpers -------------------------------------------------------------
+
+    def _charge(self, ns: float) -> None:
+        if ns > 0 and self.clock is not None:
+            self.clock.advance(ns, Category.COMM)
+
+    @property
+    def protected(self) -> bool:
+        """True when the peer holds the host's current persistent version."""
+        current = self.pmo.nvbm.roots.get(SLOT_PREV)
+        return current != NULL_HANDLE and self.peer_root == current
+
+    # -- the protocol --------------------------------------------------------
+
+    def ship(self) -> ShipReport:
+        """Ship the current persistent version until the peer acks it.
+
+        Raises :class:`~repro.errors.ReplicationTimeoutError` after
+        ``max_retries`` unacknowledged attempts, and
+        :class:`~repro.errors.RecoveryError` when nothing was persisted.
+        """
+        delta, root, reachable = compute_delta(self.pmo, self.replica)
+        if root == self.peer_root and self.replica.root == root:
+            # peer already holds this exact version: nothing to ship
+            return ShipReport(seq=self.next_seq - 1, bytes_shipped=0,
+                              records=0, attempts=0, resynced=False,
+                              duplicates_ignored=0, wait_ns=0.0)
+        seq = self.next_seq
+        base = self.peer_root
+        records = delta
+        resync = False
+        resynced = False
+        attempts = 0
+        dups = 0
+        wait_ns = 0.0
+        last_reason = "delta lost"
+        while attempts <= self.policy.max_retries:
+            attempts += 1
+            nbytes = len(records) * OCTANT_RECORD_SIZE + DELTA_HEADER_BYTES
+            self.injector.site(sites.REPLICA_SHIP_BEFORE_SEND)
+            d = self.transport.send_data(nbytes)
+            self._charge(d.cost_ns)
+            if d.delivered:
+                status = self._peer_receive(seq, base, records, root,
+                                            reachable, resync)
+                if d.copies > 1:
+                    for _ in range(d.copies - 1):
+                        second = self._peer_receive(seq, base, records, root,
+                                                    reachable, resync)
+                        if second == "duplicate":
+                            dups += 1
+                if status in ("applied", "duplicate"):
+                    self.injector.site(sites.REPLICA_SHIP_AFTER_APPLY)
+                    ack = self.transport.send_ack()
+                    self._charge(ack.cost_ns)
+                    if ack.delivered and not self.break_acks:
+                        self.injector.site(sites.REPLICA_SHIP_BEFORE_ACK)
+                        self.peer_root = root
+                        self.next_seq = seq + 1
+                        shipped = len(records) * OCTANT_RECORD_SIZE
+                        self.stats.ships += 1
+                        self.stats.bytes_shipped += shipped
+                        self.stats.duplicates_ignored += dups
+                        return ShipReport(
+                            seq=seq, bytes_shipped=shipped,
+                            records=len(records), attempts=attempts,
+                            resynced=resynced, duplicates_ignored=dups,
+                            wait_ns=wait_ns,
+                        )
+                    self.stats.acks_lost += 1
+                    last_reason = "ack lost"
+                else:  # diverged: switch to a full resync and resend now
+                    self.injector.site(sites.REPLICA_RESYNC_BEGIN)
+                    resync = resynced = True
+                    self.stats.resyncs += 1
+                    records = {h: self.pmo.nvbm.read(h) for h in reachable}
+                    continue  # the NACK came back; no timeout to wait out
+            else:
+                self.stats.deltas_lost += 1
+                last_reason = f"delta lost ({d.reason})" if d.reason \
+                    else "delta lost"
+            pause = self.policy.ack_timeout_ns + self.policy.backoff_ns(attempts)
+            self._charge(pause)
+            wait_ns += pause
+            self.stats.retries += 1
+            self.stats.wait_ns += pause
+        raise ReplicationTimeoutError(seq, attempts, last_reason)
+
+    def _peer_receive(self, seq: int, base: int, records: Dict[int, bytes],
+                      root: int, reachable: Set[int], resync: bool) -> str:
+        """Deliver one DELTA/RESYNC message to the peer store."""
+        if resync:
+            status = self.replica.classify(seq, base, root)
+            if status == "duplicate":
+                return "duplicate"
+            self.replica.force_sync(seq, records, root)
+            return "applied"
+        return self.replica.apply_delta(seq, base, records, root, reachable)
 
 
 def restore_from_replica(replica: ReplicaStore, dram: MemoryArena,

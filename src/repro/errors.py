@@ -67,3 +67,52 @@ class PartitionError(ReproError):
 
 class GCDisabledError(ReproError):
     """Garbage collection was requested while a merge is in flight (§3.2)."""
+
+
+class AllRanksDeadError(ReproError):
+    """A collective was attempted on a communicator with no live rank.
+
+    Carries the dead-rank list so recovery drivers can report *who* was
+    lost rather than dying on a bare ``max() arg is an empty sequence``.
+    """
+
+    def __init__(self, dead_ranks):
+        self.dead_ranks = sorted(dead_ranks)
+        super().__init__(
+            f"all {len(self.dead_ranks)} ranks are dead: {self.dead_ranks}"
+        )
+
+
+class NetworkPartitionError(ReproError):
+    """A collective spanned ranks severed by an active network partition.
+
+    Distinct from :class:`PartitionError` (mesh-distribution validity): this
+    one is about the *interconnect* — a collective over a partitioned
+    communicator must fail loudly rather than silently compute a result the
+    unreachable side never saw.
+    """
+
+    def __init__(self, groups, now_ns: float):
+        self.groups = tuple(tuple(sorted(g)) for g in groups)
+        self.now_ns = now_ns
+        super().__init__(
+            f"network partition at t={now_ns:.0f}ns splits live ranks "
+            f"into {self.groups}"
+        )
+
+
+class ReplicationTimeoutError(ReproError):
+    """Delta shipping exhausted its retry budget without an acknowledged apply.
+
+    The host's persistent version is safe (persist completed before the
+    ship); only the *remote protection* failed to advance.  Callers decide
+    whether to continue unprotected, re-pick a peer, or degrade.
+    """
+
+    def __init__(self, seq: int, attempts: int, detail: str = ""):
+        self.seq = seq
+        self.attempts = attempts
+        msg = f"delta seq={seq} unacknowledged after {attempts} attempt(s)"
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)

@@ -6,8 +6,12 @@ evaluation artifact and returns a structured result; the benchmark suite
 :mod:`repro.harness.report`, and asserts the *shape* claims (who wins, by
 roughly what factor, where crossovers fall).  EXPERIMENTS.md records
 paper-vs-measured for each.
+
+:mod:`repro.harness.chaos` is the fault-tolerance counterpart: seeded
+randomized fault schedules against the recovery stack, with invariant
+checks and failure shrinking (``python -m repro chaos``).
 """
 
-from repro.harness import experiments, report
+from repro.harness import chaos, experiments, report
 
-__all__ = ["experiments", "report"]
+__all__ = ["chaos", "experiments", "report"]

@@ -1,0 +1,510 @@
+"""Seeded chaos harness: random fault schedules against the recovery stack.
+
+Each *trial* derives a :class:`ChaosSchedule` from ``(seed, trial)`` — a set
+of per-link fault probabilities plus scheduled events (host kills with or
+without node reboot, replica-peer kills, concurrent host+peer kills,
+partition windows, message-loss bursts) — and runs the droplet workload on a
+:class:`~repro.parallel.cluster.SimulatedCluster` whose interconnect obeys
+that schedule.  After every recovery, and again at the end of the trial, the
+harness asserts the fault-tolerance invariants:
+
+* a restored tree is identical to the last successfully persisted version
+  (local restore) or to a persisted-and-replicated version no older than the
+  last acknowledged ship (replica restore);
+* replica protection is re-established on a live peer after every recovery,
+  or the trial ends in an explicit :class:`~repro.core.recovery.Degraded`
+  outcome — never an unhandled exception.
+
+A failing trial is *shrunk*: events are removed one at a time (and the link
+faults zeroed) while the failure reproduces, yielding a minimal seeded
+reproducer the report prints alongside the exact CLI line that replays it.
+
+Everything is deterministic in ``(seed, trial)``: schedules come from
+``random.Random``, network fault decisions from the plan's own seeded RNG,
+and NVBM power-loss tearing from per-rank numpy generators.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import PMOctreeConfig, SolverConfig, TITAN
+from repro.core.api import pm_create
+from repro.core.recovery import Degraded, recover_host, reprotect
+from repro.core.replication import RetryPolicy
+from repro.errors import ReplicationTimeoutError, ReproError
+from repro.parallel.cluster import SimulatedCluster
+from repro.parallel.detector import DetectorConfig, FailureDetector
+from repro.parallel.faults import LinkFaults, NetworkFaultPlan
+from repro.solver.simulation import DropletSimulation
+
+#: Event kinds a schedule may contain, with selection weights.
+_EVENT_KINDS: Tuple[Tuple[str, int], ...] = (
+    ("kill_host", 4),
+    ("kill_peer", 3),
+    ("kill_both", 1),
+    ("partition", 3),
+    ("loss_burst", 3),
+)
+
+
+@dataclass
+class ChaosEvent:
+    """One scheduled fault.
+
+    ``returns`` only applies to ``kill_host`` (the node reboots and its NVBM
+    survives); ``duration`` (steps) and ``drop`` only to windowed kinds.
+    """
+
+    kind: str
+    step: int
+    returns: bool = False
+    duration: int = 1
+    drop: float = 0.0
+
+    def describe(self) -> str:
+        extra = ""
+        if self.kind == "kill_host":
+            extra = "+reboot" if self.returns else "+gone"
+        elif self.kind in ("partition", "loss_burst"):
+            extra = f"x{self.duration}"
+            if self.kind == "loss_burst":
+                extra += f"@{self.drop:.2f}"
+        return f"{self.kind}{extra}@{self.step}"
+
+
+@dataclass
+class ChaosSchedule:
+    """Fully describes one trial; derivable from ``(seed, trial)`` alone."""
+
+    seed: int
+    trial: int
+    steps: int
+    faults: LinkFaults
+    events: Tuple[ChaosEvent, ...]
+
+    def describe(self) -> str:
+        evs = ", ".join(e.describe() for e in self.events) or "none"
+        return (f"faults(drop={self.faults.drop:.3f}, "
+                f"dup={self.faults.duplicate:.3f}, "
+                f"delay={self.faults.delay:.3f}) events=[{evs}]")
+
+
+def derive_schedule(seed: int, trial: int, steps: int = 10) -> ChaosSchedule:
+    """The schedule for one trial — pure function of ``(seed, trial)``."""
+    rng = random.Random(f"chaos:{seed}:{trial}")
+    faults = LinkFaults(
+        drop=round(rng.uniform(0.0, 0.25), 3),
+        duplicate=round(rng.uniform(0.0, 0.15), 3),
+        delay=round(rng.uniform(0.0, 0.30), 3),
+        delay_ns=20_000.0,
+    )
+    kinds = [k for k, _ in _EVENT_KINDS]
+    weights = [w for _, w in _EVENT_KINDS]
+    events: List[ChaosEvent] = []
+    # Leave quiet steps at the tail so post-recovery re-replication has a
+    # fault-free-ish window to converge in before the end-of-trial check.
+    last_step = max(3, steps - 3)
+    for _ in range(rng.randint(1, 3)):
+        kind = rng.choices(kinds, weights)[0]
+        ev = ChaosEvent(kind=kind, step=rng.randint(2, last_step))
+        if kind == "kill_host":
+            ev.returns = rng.random() < 0.5
+        elif kind in ("partition", "loss_burst"):
+            ev.duration = rng.randint(1, 2)
+            if kind == "loss_burst":
+                ev.drop = round(rng.uniform(0.50, 0.85), 3)
+        events.append(ev)
+    events.sort(key=lambda e: (e.step, e.kind))
+    return ChaosSchedule(seed=seed, trial=trial, steps=steps,
+                         faults=faults, events=tuple(events))
+
+
+@dataclass
+class TrialResult:
+    """Invariant verdict and protocol counters for one trial."""
+
+    trial: int
+    seed: int
+    outcome: str               #: "protected" | "degraded" | "failed"
+    violations: List[str] = field(default_factory=list)
+    degraded_reason: str = ""
+    steps_run: int = 0
+    recoveries: int = 0
+    events_applied: List[str] = field(default_factory=list)
+    ships: int = 0
+    retries: int = 0
+    resyncs: int = 0
+    duplicates_ignored: int = 0
+    acks_lost: int = 0
+    deltas_lost: int = 0
+    wait_ns: float = 0.0
+    schedule: Optional[ChaosSchedule] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_row(self) -> Dict[str, object]:
+        return {
+            "trial": self.trial,
+            "outcome": self.outcome,
+            "steps": self.steps_run,
+            "recoveries": self.recoveries,
+            "retries": self.retries,
+            "resyncs": self.resyncs,
+            "wait_ms": round(self.wait_ns / 1e6, 3),
+            "events": ", ".join(self.events_applied) or "-",
+            "detail": self.degraded_reason or "; ".join(self.violations) or "-",
+        }
+
+
+def _signature(tree) -> Dict[int, tuple]:
+    return {loc: tuple(tree.get_payload(loc)) for loc in tree.leaves()}
+
+
+def _index_of(sig: Dict[int, tuple], history: List[Dict[int, tuple]]) -> int:
+    for i in reversed(range(len(history))):
+        if history[i] == sig:
+            return i
+    return -1
+
+
+class _TrialState:
+    """Mutable wiring of one running trial (who serves, who protects)."""
+
+    def __init__(self) -> None:
+        self.host_rank = 0
+        self.tree = None
+        self.session = None
+        self.replica_peer: Optional[int] = None
+        self.replica_store = None
+        self.sessions: list = []     #: every session ever created (stats)
+        self.history: List[Dict[int, tuple]] = []
+        self.last_acked_idx = -1     #: history index of last acked ship
+        self.degraded: Optional[Degraded] = None
+        self.recoveries = 0
+
+    def adopt_session(self, session, peer: Optional[int]) -> None:
+        self.session = session
+        if session is not None:
+            self.sessions.append(session)
+            self.replica_peer = peer
+            self.replica_store = session.replica
+
+    def note_acked_if_protected(self) -> None:
+        if self.session is not None and self.session.protected:
+            self.last_acked_idx = len(self.history) - 1
+
+
+def _detect_failure(cluster, dead_rank: int) -> bool:
+    """Heartbeat-driven detection gate: recovery only starts once the
+    observer's failure detector actually suspects the dead rank."""
+    live = [c.rank for c in cluster.ranks if c.alive]
+    if not live:
+        return False
+    obs = cluster.ranks[live[0]]
+    cfg = DetectorConfig()
+    det = FailureDetector(cluster, cfg, observer_rank=obs.rank)
+    det.poll(obs.clock.now_ns)
+    # Detection latency: miss_threshold missed beats plus one interval.
+    obs.clock.advance((cfg.miss_threshold + 1) * cfg.heartbeat_interval_ns)
+    det.poll(obs.clock.now_ns)
+    return det.is_suspected(dead_rank, obs.clock.now_ns)
+
+
+def run_trial(schedule: ChaosSchedule, break_acks: bool = False,
+              policy: Optional[RetryPolicy] = None) -> TrialResult:
+    """Run one seeded trial; never raises for in-model faults."""
+    result = TrialResult(trial=schedule.trial, seed=schedule.seed,
+                         outcome="protected", schedule=schedule)
+    policy = policy or RetryPolicy()
+    plan = NetworkFaultPlan(
+        seed=schedule.seed * 1_000_003 + schedule.trial,
+        default=schedule.faults,
+    )
+    # cores_per_node=1: every rank is its own node, so any rank on another
+    # node is a legal replica target and node kills hit exactly one rank.
+    spec = replace(TITAN, cores_per_node=1)
+    cluster = SimulatedCluster(4, spec=spec, fault_plan=plan)
+
+    st = _TrialState()
+    ctx0 = cluster.ranks[0]
+    pmcfg = PMOctreeConfig(dram_capacity_octants=4096)
+    st.tree = pm_create(ctx0.resources["dram"], ctx0.resources["nvbm"],
+                        dim=2, config=pmcfg, injector=ctx0.injector)
+
+    def persist_cb(sim_) -> None:
+        try:
+            sim_.tree.persist(transform=False)
+        except ReplicationTimeoutError:
+            pass  # local persist committed; remote protection stalled
+        st.history.append(_signature(sim_.tree))
+        st.note_acked_if_protected()
+
+    solver = SolverConfig(dim=2, min_level=2, max_level=4, dt=0.01)
+    sim = DropletSimulation(st.tree, solver, clock=ctx0.clock,
+                            persistence=persist_cb)
+    sim.construct()
+    persist_cb(sim)
+
+    session, peer, _ = reprotect(cluster, st.tree, st.host_rank,
+                                 policy=policy, break_acks=break_acks)
+    st.adopt_session(session, peer)
+    st.note_acked_if_protected()
+
+    open_windows: List[Tuple[int, object]] = []   # (heal_step, window)
+    burst_links: List[Tuple[int, tuple]] = []     # (end_step, link_key)
+    by_step: Dict[int, List[ChaosEvent]] = {}
+    for ev in schedule.events:
+        by_step.setdefault(ev.step, []).append(ev)
+
+    def now() -> float:
+        return cluster.ranks[st.host_rank].clock.now_ns
+
+    def rewire_after_recovery(rec) -> None:
+        st.tree = rec.tree
+        st.host_rank = rec.host_rank
+        st.adopt_session(rec.session, rec.replica_peer)
+        sim.tree = rec.tree
+        sim.clock = cluster.ranks[rec.host_rank].clock
+        if hasattr(rec.tree, "register_feature"):
+            rec.tree.register_feature(sim._next_step_feature)
+
+    def check_restore(rec) -> None:
+        try:
+            rec.tree.check_invariants()
+        except ReproError as exc:
+            result.violations.append(f"restored tree inconsistent: {exc}")
+            return
+        sig = _signature(rec.tree)
+        idx = _index_of(sig, st.history)
+        if rec.kind == "local":
+            if idx != len(st.history) - 1:
+                result.violations.append(
+                    "local restore does not match the last persisted version")
+        else:
+            if idx < 0:
+                result.violations.append(
+                    "replica restore matches no persisted version")
+            elif idx < st.last_acked_idx:
+                result.violations.append(
+                    "replica restore is older than the last acked ship")
+        if not result.violations:
+            # recovery rolled history back to the restored point
+            del st.history[idx + 1:]
+            st.last_acked_idx = min(st.last_acked_idx, idx)
+
+    def apply_event(ev: ChaosEvent, step: int) -> None:
+        result.events_applied.append(ev.describe())
+        if ev.kind in ("kill_host", "kill_both"):
+            if ev.kind == "kill_both" and st.replica_peer is not None \
+                    and cluster.ranks[st.replica_peer].alive:
+                cluster.kill_node(cluster.ranks[st.replica_peer].node)
+            dead = st.host_rank
+            cluster.kill_node(cluster.ranks[dead].node)
+            if not _detect_failure(cluster, dead):
+                result.violations.append(
+                    f"detector never suspected dead rank {dead}")
+                return
+            rec = recover_host(
+                cluster, dead,
+                replica=st.replica_store, replica_peer=st.replica_peer,
+                host_node_returns=(ev.kind == "kill_host" and ev.returns),
+                dim=2, config=pmcfg, policy=policy, break_acks=break_acks,
+            )
+            if rec.degraded:
+                st.degraded = rec
+                return
+            st.recoveries += 1
+            check_restore(rec)
+            rewire_after_recovery(rec)
+        elif ev.kind == "kill_peer":
+            if st.replica_peer is None \
+                    or not cluster.ranks[st.replica_peer].alive:
+                return  # nothing protecting us; nothing to kill
+            cluster.kill_node(cluster.ranks[st.replica_peer].node)
+            st.session = None
+            st.replica_store = None
+            st.replica_peer = None
+            st.tree.replicator = None
+            st.tree.replica = None
+            session, peer, _ = reprotect(cluster, st.tree, st.host_rank,
+                                         policy=policy,
+                                         break_acks=break_acks)
+            st.adopt_session(session, peer)
+            st.note_acked_if_protected()
+        elif ev.kind == "partition":
+            others = [c.rank for c in cluster.ranks
+                      if c.alive and c.rank != st.host_rank]
+            w = plan.start_partition([[st.host_rank], others], now())
+            open_windows.append((step + ev.duration, w))
+        elif ev.kind == "loss_burst":
+            burst = LinkFaults(drop=ev.drop)
+            targets = [c.rank for c in cluster.ranks
+                       if c.rank != st.host_rank]
+            for t in targets:
+                for key in ((st.host_rank, t), (t, st.host_rank)):
+                    if key not in plan.links:
+                        plan.links[key] = burst
+                        burst_links.append((step + ev.duration, key))
+
+    for step in range(1, schedule.steps + 1):
+        for heal_step, w in list(open_windows):
+            if step >= heal_step:
+                w.heal(now())
+                open_windows.remove((heal_step, w))
+        for end_step, key in list(burst_links):
+            if step >= end_step:
+                plan.links.pop(key, None)
+                burst_links.remove((end_step, key))
+        for ev in by_step.get(step, ()):
+            apply_event(ev, step)
+            if st.degraded is not None:
+                break
+        if st.degraded is not None or result.violations:
+            break
+        if st.session is None:
+            session, peer, _ = reprotect(cluster, st.tree, st.host_rank,
+                                         policy=policy,
+                                         break_acks=break_acks)
+            st.adopt_session(session, peer)
+            st.note_acked_if_protected()
+        sim.step()
+        result.steps_run = step
+
+    # ---- end-of-trial verdict ------------------------------------------
+    if st.degraded is not None:
+        result.outcome = "degraded"
+        result.degraded_reason = st.degraded.reason
+    elif not result.violations:
+        for _ in range(3):
+            if st.session is not None and st.session.protected:
+                break
+            if st.session is not None:
+                try:
+                    st.session.ship()
+                    st.note_acked_if_protected()
+                    continue
+                except ReplicationTimeoutError:
+                    st.session = None
+                    st.tree.replicator = None
+            session, peer, _ = reprotect(cluster, st.tree, st.host_rank,
+                                         policy=policy,
+                                         break_acks=break_acks)
+            st.adopt_session(session, peer)
+            st.note_acked_if_protected()
+        if st.session is not None and st.session.protected:
+            result.outcome = "protected"
+        else:
+            from repro.core.replication import choose_replica_peer
+
+            if choose_replica_peer(cluster, st.host_rank) is None:
+                result.outcome = "degraded"
+                result.degraded_reason = "no live peer for re-replication"
+            else:
+                result.violations.append(
+                    "replica protection not re-established despite a live "
+                    "peer")
+    if result.violations:
+        result.outcome = "failed"
+    result.recoveries = st.recoveries
+    for s in st.sessions:
+        result.ships += s.stats.ships
+        result.retries += s.stats.retries
+        result.resyncs += s.stats.resyncs
+        result.duplicates_ignored += s.stats.duplicates_ignored
+        result.acks_lost += s.stats.acks_lost
+        result.deltas_lost += s.stats.deltas_lost
+        result.wait_ns += s.stats.wait_ns
+    return result
+
+
+# ------------------------------------------------------------------ shrinking
+
+
+def shrink_schedule(schedule: ChaosSchedule,
+                    break_acks: bool = False) -> ChaosSchedule:
+    """Minimise a failing schedule while it keeps failing.
+
+    Greedy delta-debugging: first try zeroing the link faults, then try
+    dropping each event, repeating to a fixpoint.  The result is the
+    minimal reproducer the report prints.
+    """
+
+    def fails(cand: ChaosSchedule) -> bool:
+        return not run_trial(cand, break_acks=break_acks).ok
+
+    current = schedule
+    if not fails(current):  # pragma: no cover - caller guarantees failure
+        return current
+    changed = True
+    while changed:
+        changed = False
+        if current.faults != LinkFaults():
+            cand = replace(current, faults=LinkFaults())
+            if fails(cand):
+                current = cand
+                changed = True
+        for i in range(len(current.events)):
+            cand = replace(current, events=current.events[:i]
+                           + current.events[i + 1:])
+            if fails(cand):
+                current = cand
+                changed = True
+                break
+    return current
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of a whole chaos run."""
+
+    seed: int
+    trials: List[TrialResult]
+    break_acks: bool = False
+    reproducer: Optional[Dict[str, object]] = None
+
+    @property
+    def passed(self) -> int:
+        return sum(1 for t in self.trials if t.ok)
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for t in self.trials if not t.ok)
+
+    @property
+    def ok(self) -> bool:
+        return self.failed == 0
+
+
+def run_chaos(trials: int = 25, seed: int = 0, steps: int = 10,
+              break_acks: bool = False,
+              only_trial: Optional[int] = None) -> ChaosReport:
+    """Run ``trials`` seeded trials; shrink the first failure found.
+
+    ``only_trial`` replays a single trial index (the reproducer path).
+    """
+    report = ChaosReport(seed=seed, trials=[], break_acks=break_acks)
+    indices = [only_trial] if only_trial is not None else range(trials)
+    for t in indices:
+        schedule = derive_schedule(seed, t, steps=steps)
+        result = run_trial(schedule, break_acks=break_acks)
+        report.trials.append(result)
+        if not result.ok and report.reproducer is None:
+            minimal = shrink_schedule(schedule, break_acks=break_acks)
+            cmd = (f"python -m repro chaos --seed {seed} --trial {t} "
+                   f"--steps {steps}")
+            if break_acks:
+                cmd += " --break-acks"
+            report.reproducer = {
+                "seed": seed,
+                "trial": t,
+                "violations": list(result.violations),
+                "command": cmd,
+                "minimal_schedule": minimal.describe(),
+                "minimal_events": [e.describe() for e in minimal.events],
+            }
+    return report

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.errors import SimulatedCrash
 from repro.nvbm import sites as site_registry
@@ -30,14 +30,42 @@ class UnknownCrashSiteWarning(UserWarning):
 
 @dataclass
 class CrashPlan:
-    """Fire at the ``at_hit``-th execution of ``site`` (1-based)."""
+    """When an armed site fires, in order of precedence:
+
+    * ``every_hit`` — every execution of the site fires (the plan is never
+      exhausted; chaos trials crash the same site repeatedly);
+    * ``hits`` — an explicit 1-based hit list, e.g. ``(2, 5)``; the plan is
+      exhausted after its largest hit;
+    * ``at_hit`` — the classic single 1-based hit count.
+    """
 
     site: str
     at_hit: int = 1
+    hits: Optional[tuple] = None
+    every_hit: bool = False
 
     def __post_init__(self) -> None:
         if self.at_hit < 1:
             raise ValueError("at_hit is 1-based and must be >= 1")
+        if self.hits is not None:
+            self.hits = tuple(sorted(set(int(h) for h in self.hits)))
+            if not self.hits or self.hits[0] < 1:
+                raise ValueError("hits must be a non-empty list of ints >= 1")
+
+    def fires_at(self, hit: int) -> bool:
+        if self.every_hit:
+            return True
+        if self.hits is not None:
+            return hit in self.hits
+        return hit == self.at_hit
+
+    def exhausted_after(self, hit: int) -> bool:
+        """True when no later hit can fire (plan can be dropped)."""
+        if self.every_hit:
+            return False
+        if self.hits is not None:
+            return hit >= self.hits[-1]
+        return hit >= self.at_hit
 
 
 class FailureInjector:
@@ -54,8 +82,20 @@ class FailureInjector:
         self.hits: Dict[str, int] = {}
         self.fired: List[str] = []
 
-    def arm(self, site: str, at_hit: int = 1) -> None:
-        """Schedule a crash at the ``at_hit``-th visit of ``site``.
+    def arm(self, site: str, at_hit: int = 1, *,
+            hits: Optional[Sequence[int]] = None,
+            every_hit: bool = False) -> None:
+        """Schedule a crash at visits of ``site``.
+
+        ``at_hit`` fires once at the given 1-based visit; ``hits`` fires at
+        each listed visit (e.g. ``hits=[2, 5]``); ``every_hit=True`` fires
+        at *every* visit until the site is disarmed — chaos trials use the
+        latter two to crash the same site more than once in one run.
+
+        Overwrite semantics: at most one plan exists per site.  Arming a
+        site that already has a plan **replaces** the old plan entirely
+        (its remaining hits are forgotten); it never merges hit lists.
+        Use :meth:`disarm` first if the replacement should be explicit.
 
         Warns when ``site`` is not in the central registry
         (:mod:`repro.nvbm.sites`) — the plan would otherwise never fire.
@@ -68,7 +108,10 @@ class FailureInjector:
                 UnknownCrashSiteWarning,
                 stacklevel=2,
             )
-        self._plans[site] = CrashPlan(site, at_hit)
+        self._plans[site] = CrashPlan(
+            site, at_hit, hits=tuple(hits) if hits is not None else None,
+            every_hit=every_hit,
+        )
 
     def disarm(self, site: Optional[str] = None) -> None:
         """Remove one plan, or all plans when ``site`` is None."""
@@ -81,8 +124,9 @@ class FailureInjector:
         """Declare a crash site; raises SimulatedCrash when an armed plan fires."""
         self.hits[name] = self.hits.get(name, 0) + 1
         plan = self._plans.get(name)
-        if plan is not None and self.hits[name] == plan.at_hit:
-            del self._plans[name]
+        if plan is not None and plan.fires_at(self.hits[name]):
+            if plan.exhausted_after(self.hits[name]):
+                del self._plans[name]
             self.fired.append(name)
             raise SimulatedCrash(name)
 

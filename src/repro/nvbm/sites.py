@@ -42,6 +42,10 @@ ROOTS_SWAP_MID = "roots.swap.mid"
 
 # -- replication --------------------------------------------------------------
 REPLICA_BEFORE_PUBLISH = "replica.before_publish"
+REPLICA_SHIP_BEFORE_SEND = "replica.ship.before_send"
+REPLICA_SHIP_AFTER_APPLY = "replica.ship.after_apply"
+REPLICA_SHIP_BEFORE_ACK = "replica.ship.before_ack"
+REPLICA_RESYNC_BEGIN = "replica.resync.begin"
 
 #: name -> what crashing there exercises (the sweep harness reports these).
 DESCRIPTIONS: Dict[str, str] = {
@@ -57,6 +61,10 @@ DESCRIPTIONS: Dict[str, str] = {
     PERSIST_AFTER_ROOT_SWAP: "an instant after the atomic publish",
     ROOTS_SWAP_MID: "between the two device stores of a root-slot swap",
     REPLICA_BEFORE_PUBLISH: "replica materialised and flushed, root not set",
+    REPLICA_SHIP_BEFORE_SEND: "delta computed and sequenced, nothing sent",
+    REPLICA_SHIP_AFTER_APPLY: "peer applied the delta, ack not yet delivered",
+    REPLICA_SHIP_BEFORE_ACK: "ack delivered, host success not yet recorded",
+    REPLICA_RESYNC_BEGIN: "peer state diverged, full resync about to start",
 }
 
 

@@ -9,13 +9,26 @@ paper's weak/strong-scaling figures plot.
 """
 
 from repro.parallel.network import Network
+from repro.parallel.faults import (
+    FaultyNetwork,
+    LinkFaults,
+    NetworkFaultPlan,
+    PartitionWindow,
+)
+from repro.parallel.detector import DetectorConfig, FailureDetector
 from repro.parallel.simmpi import RankContext, SimCommunicator
 from repro.parallel.cluster import SimulatedCluster
 from repro.parallel.partition import PartitionResult, repartition
 
 __all__ = [
+    "DetectorConfig",
+    "FailureDetector",
+    "FaultyNetwork",
+    "LinkFaults",
     "Network",
+    "NetworkFaultPlan",
     "PartitionResult",
+    "PartitionWindow",
     "RankContext",
     "SimCommunicator",
     "SimulatedCluster",

@@ -1,0 +1,95 @@
+"""Heartbeat-based failure detection over a lossy interconnect.
+
+Each rank emits a heartbeat every ``heartbeat_interval_ns`` of simulated
+time toward an observer rank (the job scheduler's proxy).  Heartbeats from
+live ranks cross the (possibly faulty) network — they can be dropped or
+severed by a partition — so the detector is necessarily *eventually
+accurate* rather than perfect: a rank is **suspected** once
+``miss_threshold`` consecutive heartbeat intervals pass without a delivered
+beat.  Dead ranks emit nothing and are always eventually suspected; live
+ranks behind a partition or a deep loss burst can be falsely suspected,
+which is exactly the ambiguity real recovery drivers must survive (the
+chaos harness exercises both cases).
+
+The detector is polled (``poll(now_ns)``) rather than threaded: the
+simulation advances rank clocks, then asks the detector to deliver every
+heartbeat tick that elapsed since the last poll.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.parallel.faults import FaultyNetwork, HEARTBEAT_BYTES
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    heartbeat_interval_ns: float = 1e6
+    #: consecutive missed intervals before a rank is suspected
+    miss_threshold: int = 3
+
+    def __post_init__(self):
+        if self.heartbeat_interval_ns <= 0:
+            raise ValueError("heartbeat interval must be positive")
+        if self.miss_threshold < 1:
+            raise ValueError("miss threshold must be >= 1")
+
+
+class FailureDetector:
+    """Suspicion tracker for every rank of a :class:`SimulatedCluster`."""
+
+    def __init__(self, cluster, config: DetectorConfig = DetectorConfig(),
+                 observer_rank: int = 0):
+        self.cluster = cluster
+        self.config = config
+        self.observer_rank = observer_rank
+        now = 0.0
+        #: sim time of the last *delivered* heartbeat per rank
+        self.last_heard: Dict[int, float] = {
+            r.rank: now for r in cluster.ranks
+        }
+        self._next_beat: Dict[int, float] = {
+            r.rank: config.heartbeat_interval_ns for r in cluster.ranks
+        }
+
+    def _network(self):
+        net = self.cluster.network
+        return net if isinstance(net, FaultyNetwork) else None
+
+    def poll(self, now_ns: float) -> List[int]:
+        """Deliver all heartbeat ticks up to ``now_ns``; returns suspects.
+
+        Idempotent for a fixed ``now_ns``; time must not go backwards.
+        """
+        net = self._network()
+        step = self.config.heartbeat_interval_ns
+        for ctx in self.cluster.ranks:
+            t = self._next_beat[ctx.rank]
+            while t <= now_ns:
+                if ctx.alive:
+                    if ctx.rank == self.observer_rank or net is None:
+                        delivered = True
+                    else:
+                        delivered = net.send(
+                            ctx.rank, self.observer_rank,
+                            HEARTBEAT_BYTES, t,
+                        ).delivered
+                    if delivered:
+                        self.last_heard[ctx.rank] = t
+                t += step
+            self._next_beat[ctx.rank] = t
+        return self.suspected(now_ns)
+
+    def suspected(self, now_ns: float) -> List[int]:
+        """Ranks silent for ``miss_threshold`` intervals as of ``now_ns``."""
+        horizon = self.config.miss_threshold * \
+            self.config.heartbeat_interval_ns
+        return sorted(
+            rank for rank, heard in self.last_heard.items()
+            if now_ns - heard > horizon
+        )
+
+    def is_suspected(self, rank: int, now_ns: float) -> bool:
+        return rank in self.suspected(now_ns)

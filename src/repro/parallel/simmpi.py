@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Sequence
 
+from repro.errors import AllRanksDeadError, NetworkPartitionError
 from repro.nvbm.clock import Category, SimClock
 from repro.nvbm.failure import FailureInjector
 from repro.parallel.network import Network
@@ -51,17 +52,40 @@ class SimCommunicator:
         return len(self.ranks)
 
     def _live(self) -> List[RankContext]:
-        return [r for r in self.ranks if r.alive]
+        """Live participants; raises :class:`AllRanksDeadError` when none.
+
+        Every collective (and :meth:`makespan_ns`) funnels through here, so
+        a fully-dead communicator fails with a typed error carrying the
+        dead-rank list instead of ``max() arg is an empty sequence``.
+        """
+        live = [r for r in self.ranks if r.alive]
+        if not live:
+            raise AllRanksDeadError([r.rank for r in self.ranks])
+        return live
+
+    def _check_partition(self, live: List[RankContext], now_ns: float) -> None:
+        """Refuse a collective whose live ranks span a network partition."""
+        plan = getattr(self.network, "plan", None)
+        if plan is None or not plan.partitions:
+            return
+        groups = self.network.partition_groups(
+            [r.rank for r in live], now_ns)
+        if len(groups) > 1:
+            raise NetworkPartitionError(groups, now_ns)
 
     # -- synchronisation ---------------------------------------------------------
 
     def barrier(self) -> float:
         """Advance every live rank to the slowest, charge barrier cost.
 
-        Returns the synchronised time (ns).
+        Returns the synchronised time (ns).  Raises
+        :class:`~repro.errors.NetworkPartitionError` when an active
+        partition severs the live ranks — a barrier cannot complete if one
+        side can never hear the other.
         """
         live = self._live()
         high = max(r.clock.now_ns for r in live)
+        self._check_partition(live, high)
         cost = self.network.barrier_ns(len(live))
         for r in live:
             wait = high - r.clock.now_ns

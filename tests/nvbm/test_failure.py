@@ -74,6 +74,55 @@ def test_registered_site_after_register_does_not_warn():
 def test_plan_validates_hit_count():
     with pytest.raises(ValueError):
         CrashPlan("x", at_hit=0)
+    with pytest.raises(ValueError):
+        CrashPlan("x", hits=())
+    with pytest.raises(ValueError):
+        CrashPlan("x", hits=(0, 2))
+
+
+def test_hits_list_fires_at_each_listed_visit():
+    inj = FailureInjector()
+    inj.arm(sites.PERSIST_BEGIN, hits=[2, 4])
+    inj.site(sites.PERSIST_BEGIN)                 # hit 1: quiet
+    with pytest.raises(SimulatedCrash):
+        inj.site(sites.PERSIST_BEGIN)             # hit 2: fires
+    inj.site(sites.PERSIST_BEGIN)                 # hit 3: quiet
+    with pytest.raises(SimulatedCrash):
+        inj.site(sites.PERSIST_BEGIN)             # hit 4: fires, exhausts
+    inj.site(sites.PERSIST_BEGIN)                 # hit 5: plan consumed
+    assert inj.fired == [sites.PERSIST_BEGIN, sites.PERSIST_BEGIN]
+    assert inj.armed_sites == []
+
+
+def test_hits_list_deduplicated_and_sorted():
+    plan = CrashPlan("x", hits=(5, 2, 5))
+    assert plan.hits == (2, 5)
+    assert plan.fires_at(2) and plan.fires_at(5)
+    assert not plan.exhausted_after(2)
+    assert plan.exhausted_after(5)
+
+
+def test_every_hit_fires_until_disarmed():
+    inj = FailureInjector()
+    inj.arm(sites.PERSIST_BEGIN, every_hit=True)
+    for _ in range(3):
+        with pytest.raises(SimulatedCrash):
+            inj.site(sites.PERSIST_BEGIN)
+    assert inj.armed_sites == [sites.PERSIST_BEGIN]  # never exhausted
+    inj.disarm(sites.PERSIST_BEGIN)
+    inj.site(sites.PERSIST_BEGIN)
+    assert len(inj.fired) == 3
+
+
+def test_rearming_replaces_the_old_plan():
+    """Documented overwrite semantics: one plan per site, last arm wins."""
+    inj = FailureInjector()
+    inj.arm(sites.PERSIST_BEGIN, at_hit=1)
+    inj.arm(sites.PERSIST_BEGIN, at_hit=3)  # replaces, never merges
+    inj.site(sites.PERSIST_BEGIN)           # old at_hit=1 is forgotten
+    inj.site(sites.PERSIST_BEGIN)
+    with pytest.raises(SimulatedCrash):
+        inj.site(sites.PERSIST_BEGIN)
 
 
 def test_reset_hits():

@@ -1,0 +1,68 @@
+"""Heartbeat failure detection over faulty and perfect interconnects."""
+
+import pytest
+
+from repro.parallel.cluster import SimulatedCluster
+from repro.parallel.detector import DetectorConfig, FailureDetector
+from repro.parallel.faults import LinkFaults, NetworkFaultPlan
+
+
+def test_config_validated():
+    with pytest.raises(ValueError):
+        DetectorConfig(heartbeat_interval_ns=0)
+    with pytest.raises(ValueError):
+        DetectorConfig(miss_threshold=0)
+
+
+def test_live_ranks_not_suspected_on_perfect_network():
+    cluster = SimulatedCluster(4)
+    cfg = DetectorConfig()
+    det = FailureDetector(cluster, cfg)
+    now = 10 * cfg.heartbeat_interval_ns
+    assert det.poll(now) == []
+
+
+def test_dead_rank_suspected_after_threshold():
+    cluster = SimulatedCluster(4, fault_plan=NetworkFaultPlan(seed=0))
+    cfg = DetectorConfig()
+    det = FailureDetector(cluster, cfg)
+    det.poll(2 * cfg.heartbeat_interval_ns)
+    cluster.ranks[2].alive = False
+    # not yet: fewer than miss_threshold intervals elapsed since last beat
+    assert not det.is_suspected(2, 3 * cfg.heartbeat_interval_ns)
+    late = 10 * cfg.heartbeat_interval_ns
+    assert det.poll(late) == [2]
+    assert det.is_suspected(2, late)
+
+
+def test_partitioned_rank_falsely_suspected():
+    plan = NetworkFaultPlan(seed=1)
+    cluster = SimulatedCluster(4, fault_plan=plan)
+    cfg = DetectorConfig()
+    det = FailureDetector(cluster, cfg, observer_rank=0)
+    plan.start_partition([[0], [3]], now_ns=0.0)
+    late = 10 * cfg.heartbeat_interval_ns
+    # rank 3 is alive but unreachable: eventually-accurate, not perfect
+    assert 3 in det.poll(late)
+    assert cluster.ranks[3].alive
+
+
+def test_observer_always_hears_itself():
+    plan = NetworkFaultPlan(seed=2, default=LinkFaults(drop=1.0))
+    cluster = SimulatedCluster(3, fault_plan=plan)
+    cfg = DetectorConfig()
+    det = FailureDetector(cluster, cfg, observer_rank=1)
+    suspects = det.poll(20 * cfg.heartbeat_interval_ns)
+    assert 1 not in suspects          # own beats never cross the network
+    assert set(suspects) == {0, 2}    # everyone else drowned in drops
+
+
+def test_poll_is_idempotent_for_fixed_now():
+    cluster = SimulatedCluster(3, fault_plan=NetworkFaultPlan(seed=3))
+    cfg = DetectorConfig()
+    det = FailureDetector(cluster, cfg)
+    now = 5 * cfg.heartbeat_interval_ns
+    first = det.poll(now)
+    heard = dict(det.last_heard)
+    assert det.poll(now) == first
+    assert det.last_heard == heard

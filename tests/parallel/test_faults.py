@@ -1,0 +1,126 @@
+"""Lossy-network model: seeded faults, partition windows, determinism."""
+
+import pytest
+
+from repro.config import GEMINI_SPEC
+from repro.parallel.faults import (
+    FaultyNetwork,
+    LinkFaults,
+    NetworkFaultPlan,
+    PartitionWindow,
+)
+from repro.parallel.network import Network
+
+
+def _net(plan):
+    return FaultyNetwork(Network(GEMINI_SPEC), plan)
+
+
+def test_link_faults_validated():
+    with pytest.raises(ValueError):
+        LinkFaults(drop=1.5)
+    with pytest.raises(ValueError):
+        LinkFaults(duplicate=-0.1)
+
+
+def test_default_plan_is_perfect():
+    net = _net(NetworkFaultPlan(seed=0))
+    for _ in range(50):
+        d = net.send(0, 1, 256)
+        assert d.delivered and d.copies == 1 and d.reason == ""
+    assert net.stats.dropped == 0
+
+
+def test_drop_probability_respected():
+    net = _net(NetworkFaultPlan(seed=1, default=LinkFaults(drop=0.5)))
+    fates = [net.send(0, 1, 64).delivered for _ in range(400)]
+    dropped = fates.count(False)
+    assert 120 < dropped < 280  # ~200 expected
+    assert net.stats.dropped == dropped
+    # a dropped message still costs the sender wire time
+    assert all(net.send(0, 1, 64).cost_ns > 0 for _ in range(5))
+
+
+def test_duplicate_and_delay():
+    plan = NetworkFaultPlan(
+        seed=2, default=LinkFaults(duplicate=1.0, delay=1.0, delay_ns=5000.0))
+    net = _net(plan)
+    base = Network(GEMINI_SPEC).p2p_ns(64)
+    d = net.send(0, 1, 64)
+    assert d.delivered and d.copies == 2
+    assert d.cost_ns == pytest.approx(base + 5000.0)
+    assert net.stats.duplicated == 1 and net.stats.delayed == 1
+
+
+def test_faults_are_per_link():
+    plan = NetworkFaultPlan(seed=3, links={(0, 1): LinkFaults(drop=1.0)})
+    net = _net(plan)
+    assert not net.send(0, 1, 64).delivered  # data path always drops
+    assert net.send(1, 0, 64).delivered      # ack path untouched
+
+
+def test_same_seed_same_fate_sequence():
+    def fates(seed):
+        net = _net(NetworkFaultPlan(seed=seed, default=LinkFaults(drop=0.3)))
+        return [net.send(0, 1, 64).delivered for _ in range(100)]
+
+    assert fates(42) == fates(42)
+    assert fates(42) != fates(43)
+
+
+def test_partition_severs_only_across_groups():
+    w = PartitionWindow(start_ns=100.0, end_ns=200.0,
+                        groups=({0, 1}, {2, 3}))
+    assert w.severs(0, 2, 150.0)
+    assert not w.severs(0, 1, 150.0)       # same group
+    assert not w.severs(0, 2, 250.0)       # window over
+    assert not w.severs(0, 7, 150.0)       # 7 is in no group: unrestricted
+
+
+def test_partitioned_send_costs_only_injection():
+    plan = NetworkFaultPlan(seed=4)
+    plan.start_partition([[0], [1]], now_ns=0.0)
+    net = _net(plan)
+    d = net.send(0, 1, 1 << 20)
+    assert not d.delivered and d.reason == "partition"
+    assert d.cost_ns < Network(GEMINI_SPEC).p2p_ns(1 << 20)
+
+
+def test_heal_closes_window():
+    plan = NetworkFaultPlan(seed=5)
+    w = plan.start_partition([[0], [1]], now_ns=0.0)
+    net = _net(plan)
+    assert not net.send(0, 1, 64, now_ns=10.0).delivered
+    w.heal(20.0)
+    assert net.send(0, 1, 64, now_ns=20.0).delivered
+    w.heal(5.0)  # idempotent; never reopens
+    assert net.send(0, 1, 64, now_ns=20.0).delivered
+
+
+def test_partition_groups_connected_components():
+    plan = NetworkFaultPlan(seed=6)
+    w = plan.start_partition([[0, 1], [2, 3]], now_ns=0.0)
+    net = _net(plan)
+    assert net.partition_groups([0, 1, 2, 3], 0.0) == [[0, 1], [2, 3]]
+    assert net.partition_groups([0, 1], 0.0) == [[0, 1]]
+    w.heal(50.0)
+    assert net.partition_groups([0, 1, 2, 3], 60.0) == [[0, 1, 2, 3]]
+
+
+def test_partition_groups_transitive():
+    # 0-1 severed and 1-2 severed, but 0-2 connected: {0,2} bridges to
+    # nothing else, 1 is alone — connectivity must be taken transitively.
+    plan = NetworkFaultPlan(seed=7)
+    plan.start_partition([[0], [1]], now_ns=0.0)
+    plan.start_partition([[1], [2]], now_ns=0.0)
+    net = _net(plan)
+    assert net.partition_groups([0, 1, 2], 0.0) == [[0, 2], [1]]
+
+
+def test_cost_model_delegation():
+    net = _net(NetworkFaultPlan(seed=8))
+    base = Network(GEMINI_SPEC)
+    assert net.p2p_ns(4096) == base.p2p_ns(4096)
+    assert net.barrier_ns(8) == base.barrier_ns(8)
+    assert net.collective_ns(64, 8) == base.collective_ns(64, 8)
+    assert net.spec is base.spec

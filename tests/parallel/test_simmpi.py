@@ -3,7 +3,9 @@
 import pytest
 
 from repro.config import GEMINI_SPEC
+from repro.errors import AllRanksDeadError, NetworkPartitionError
 from repro.nvbm.clock import Category
+from repro.parallel.faults import FaultyNetwork, NetworkFaultPlan
 from repro.parallel.network import Network
 from repro.parallel.simmpi import RankContext, SimCommunicator
 
@@ -109,3 +111,52 @@ def test_dead_ranks_excluded():
     comm, ranks = _comm(3)
     ranks[1].alive = False
     assert comm.allreduce([1, 1]) == 2  # only two live ranks contribute
+
+
+def test_all_ranks_dead_is_typed():
+    comm, ranks = _comm(3)
+    for r in ranks:
+        r.alive = False
+    with pytest.raises(AllRanksDeadError) as exc:
+        comm.barrier()
+    assert exc.value.dead_ranks == [0, 1, 2]
+    with pytest.raises(AllRanksDeadError):
+        comm.makespan_ns()
+    with pytest.raises(AllRanksDeadError):
+        comm.allreduce([])
+    with pytest.raises(AllRanksDeadError):
+        comm.allgather([])
+    with pytest.raises(AllRanksDeadError):
+        comm.alltoallv([], nbytes_of=len)
+
+
+def _faulty_comm(n, plan):
+    ranks = [RankContext(rank=i) for i in range(n)]
+    net = FaultyNetwork(Network(GEMINI_SPEC), plan)
+    return SimCommunicator(ranks, net), ranks
+
+
+def test_barrier_across_partition_raises():
+    plan = NetworkFaultPlan(seed=0)
+    comm, ranks = _faulty_comm(4, plan)
+    w = plan.start_partition([[0, 1], [2, 3]], now_ns=0.0)
+    with pytest.raises(NetworkPartitionError) as exc:
+        comm.barrier()
+    assert exc.value.groups == ((0, 1), (2, 3))
+    # collectives funnel through the barrier, so they refuse too
+    with pytest.raises(NetworkPartitionError):
+        comm.allreduce([1, 1, 1, 1])
+    w.heal(max(r.clock.now_ns for r in ranks))
+    comm.barrier()  # healed: business as usual
+
+
+def test_partition_of_dead_ranks_does_not_block():
+    plan = NetworkFaultPlan(seed=0)
+    comm, ranks = _faulty_comm(4, plan)
+    plan.start_partition([[0, 1], [2, 3]], now_ns=0.0)
+    ranks[2].alive = False
+    ranks[3].alive = False
+    # the unreachable side is dead, not partitioned-away: the survivors
+    # form one component and the collective proceeds
+    comm.barrier()
+    assert comm.allreduce([1, 1]) == 2

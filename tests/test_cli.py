@@ -84,6 +84,32 @@ def test_analyze_trace(capsys):
     assert "ordering trace: clean" in capsys.readouterr().out
 
 
+def test_chaos_smoke(capsys):
+    assert main(["chaos", "--trials", "2", "--seed", "0",
+                 "--steps", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "chaos:" in out and "2 passed" in out
+
+
+def test_chaos_json(capsys):
+    import json
+
+    assert main(["chaos", "--trials", "2", "--seed", "0", "--steps", "5",
+                 "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    assert len(payload["sections"]["trials"]) == 2
+    assert payload["sections"]["reproducer"] == []
+
+
+def test_chaos_break_acks_fails_with_reproducer(capsys):
+    assert main(["chaos", "--trials", "2", "--seed", "0", "--steps", "5",
+                 "--break-acks"]) == 1
+    out = capsys.readouterr().out
+    assert "FAILURE" in out and "minimal seeded reproducer" in out
+    assert "--break-acks" in out
+
+
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])

@@ -15,6 +15,9 @@ def test_hierarchy():
         errors.StorageError,
         errors.PartitionError,
         errors.GCDisabledError,
+        errors.AllRanksDeadError,
+        errors.NetworkPartitionError,
+        errors.ReplicationTimeoutError,
     ):
         assert issubclass(exc, errors.ReproError)
         assert issubclass(exc, Exception)
@@ -32,6 +35,26 @@ def test_simulated_crash_payload():
     e = errors.SimulatedCrash("persist.before_root_swap")
     assert e.point == "persist.before_root_swap"
     assert "persist.before_root_swap" in str(e)
+
+
+def test_all_ranks_dead_payload():
+    e = errors.AllRanksDeadError([2, 0, 1])
+    assert e.dead_ranks == [0, 1, 2]
+    assert "[0, 1, 2]" in str(e)
+
+
+def test_network_partition_payload():
+    e = errors.NetworkPartitionError([[1, 0], [3, 2]], 1500.0)
+    assert e.groups == ((0, 1), (2, 3))
+    assert e.now_ns == 1500.0
+    assert "partition" in str(e)
+
+
+def test_replication_timeout_payload():
+    e = errors.ReplicationTimeoutError(7, 9, "ack lost")
+    assert e.seq == 7
+    assert e.attempts == 9
+    assert "seq=7" in str(e) and "ack lost" in str(e)
 
 
 def test_catching_base_catches_all():
