@@ -279,6 +279,61 @@ def _cmd_chaos(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_bench(args) -> int:
+    """Run the pinned benchmark suite; optionally gate against a baseline."""
+    import json
+
+    from repro.harness.bench import compare_envelopes, run_bench
+    from repro.harness.report import render_json, validate_envelope
+
+    if args.current:
+        with open(args.current) as fh:
+            env = json.load(fh)
+    else:
+        env = run_bench(pr=args.pr)
+    problems = validate_envelope(env)
+    if problems:
+        for p in problems:
+            print(f"bench: invalid envelope: {p}", file=sys.stderr)
+        return 2
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(env, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+
+    if args.compare:
+        with open(args.compare) as fh:
+            baseline = json.load(fh)
+        base_problems = validate_envelope(baseline)
+        if base_problems:
+            for p in base_problems:
+                print(f"bench: invalid baseline: {p}", file=sys.stderr)
+            return 2
+        rep = compare_envelopes(baseline, env)
+        if args.json:
+            print(render_json({"regressions": rep.rows()}, rep.ok))
+        elif rep.ok:
+            print(f"bench: OK — {rep.checked} gates within tolerance")
+        else:
+            print_table(
+                "bench regressions",
+                ["metric", "kind", "baseline", "current", "tolerance"],
+                [(r.metric, r.kind, r.baseline, r.current,
+                  f"{r.tolerance:.0%}") for r in rep.regressions],
+            )
+            for r in rep.regressions:
+                print(f"  {r.describe()}")
+        return 0 if rep.ok else 1
+
+    if args.json:
+        print(json.dumps(env, indent=2, sort_keys=True))
+    else:
+        print_table("bench metrics", ["metric", "value"],
+                    sorted(env["metrics"].items()))
+    return 0
+
+
 def _cmd_export_vtk(args) -> int:
     from repro.config import SolverConfig
     from repro.octree.vtkout import tree_to_vtk
@@ -360,6 +415,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit one machine-readable JSON report")
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser(
+        "bench",
+        help="run the pinned benchmark suite; with --compare, exit non-zero "
+             "on any regression beyond the baseline's gate tolerances",
+    )
+    p.add_argument("--pr", type=int, default=0,
+                   help="PR number stamped into the envelope")
+    p.add_argument("--out", help="write the envelope JSON to this path")
+    p.add_argument("--compare", metavar="BASELINE.json",
+                   help="gate the run against a committed baseline envelope")
+    p.add_argument("--current", metavar="CURRENT.json",
+                   help="use this pre-computed envelope instead of running "
+                        "the suite (file-to-file comparison)")
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable JSON")
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("export-vtk", help="simulate and write a VTK mesh")
     p.add_argument("--out", default="mesh.vtk")

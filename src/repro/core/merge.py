@@ -65,6 +65,7 @@ def merge_subtree(pmo: "PMOctree", root_loc: int,
     if root_loc not in pmo._c0_roots:
         raise ConsistencyError(f"{root_loc:#x} is not a C0 subtree root")
     merged: Dict[int, int] = {}
+    shared = 0
     for loc in _postorder_locs(pmo, root_loc):
         handle = pmo._index[loc]
         if not is_dram(handle):
@@ -85,6 +86,7 @@ def merge_subtree(pmo: "PMOctree", root_loc: int,
             origin_rec = pmo.nvbm.read_octant(origin)
             if origin_rec.children == child_handles:
                 merged[loc] = origin  # unchanged: share with V_{i-1}
+                shared += 1
                 continue
         new_rec = OctantRecord(
             loc=rec.loc,
@@ -98,6 +100,12 @@ def merge_subtree(pmo: "PMOctree", root_loc: int,
         merged[loc] = pmo.nvbm.new_octant(new_rec)
         pmo.injector.site(sites.MERGE_OCTANT)
     pmo.stats.merges += 1
+    pmo._obs_count("pm.merges")
+    pmo._obs_count("pm.merge_octants_shared", shared)
+    pmo._obs_count("pm.merge_octants_written", len(merged) - shared)
+    if not keep_resident:
+        # C0 -> C1 migration: the subtree leaves DRAM for NVBM
+        pmo._obs_count("pm.c0_to_c1_octants", len(merged))
 
     if keep_resident:
         # the DRAM copies stay; the NVBM shadow becomes their new origin
@@ -200,6 +208,7 @@ def load_subtree(pmo: "PMOctree", root_loc: int) -> bool:
     for c0 in nested:
         evict_subtree(pmo, c0)
         pmo.stats.evictions += 1
+        pmo._obs_count("pm.evictions")
     handle = pmo._index[root_loc]
     if is_dram(handle):
         return True  # already resident (was a nested-or-equal C0 root)
@@ -230,5 +239,7 @@ def load_subtree(pmo: "PMOctree", root_loc: int) -> bool:
     for loc, dh in copied.items():
         pmo._index[loc] = dh
     pmo._c0_roots[root_loc] = C0Stats(size=len(locs))
+    # C1 -> C0 migration: the subtree became DRAM-resident
+    pmo._obs_count("pm.c1_to_c0_octants", len(locs))
     splice_into_parent(pmo, root_loc, copied[root_loc])
     return True

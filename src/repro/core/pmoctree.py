@@ -26,6 +26,7 @@ surviving a crash.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Set
 
@@ -77,6 +78,10 @@ class PMOctree:
     run on it unchanged.
     """
 
+    #: attached repro.obs.Observability; class-level default because the
+    #: recovery path (attach_and_restore) constructs instances via __new__
+    obs = None
+
     def __init__(self, dram: MemoryArena, nvbm: MemoryArena, dim: int = 2,
                  config: Optional[PMOctreeConfig] = None,
                  injector: Optional[FailureInjector] = None,
@@ -119,6 +124,22 @@ class PMOctree:
         self._c0_roots[morton.ROOT_LOC] = C0Stats(size=1)
         self.nvbm.roots.set(SLOT_PREV, NULL_HANDLE)
         self.nvbm.roots.set(SLOT_CURR, h)
+
+    # -------------------------------------------------------------- observability
+
+    def attach_obs(self, obs) -> None:
+        """Report ``pm.*`` counters and persist spans to an
+        :class:`repro.obs.Observability` (see docs/observability.md)."""
+        self.obs = obs
+
+    def _obs_count(self, name: str, v: int = 1) -> None:
+        if self.obs is not None:
+            self.obs.metrics.counter(name).inc(v)
+
+    def _obs_span(self, name: str, **labels):
+        if self.obs is not None:
+            return self.obs.tracer.span(name, **labels)
+        return nullcontext()
 
     # ------------------------------------------------------------------ protocol
 
@@ -163,6 +184,7 @@ class PMOctree:
             self.dram.write_octant(handle, rec)
             self._dirty.add(loc)
             self.stats.inplace_updates += 1
+            self._obs_count("pm.inplace_updates")
             return
         handle = self._ensure_writable(loc)
         rec = self.nvbm.read_octant(handle)
@@ -225,6 +247,7 @@ class PMOctree:
         if croot is not None:
             self._c0_roots[croot].size += fanout
         self.stats.inplace_updates += 1
+        self._obs_count("pm.inplace_updates")
         return child_locs
 
     def _refine_nvbm(self, loc: int) -> List[int]:
@@ -291,6 +314,7 @@ class PMOctree:
                 crec.set_deleted(True)
                 self.nvbm.write_octant(ch, crec)
                 self.stats.marked_deleted += 1
+                self._obs_count("pm.marked_deleted")
         rec.set_leaf(True)
         self.nvbm.write_octant(handle, rec)
         self._leaf_set.add(loc)
@@ -340,6 +364,7 @@ class PMOctree:
                 rec.parent = self._index[path[i - 1]]
             new = self.nvbm.new_octant(rec)
             self.stats.cow_copies += 1
+            self._obs_count("pm.cow_copies")
             self._superseded.append(old)
             self._index[ploc] = new
             self.injector.site(sites.COW_AFTER_COPY)
@@ -427,11 +452,13 @@ class PMOctree:
                 if protected_root is not None:
                     evict_subtree(self, protected_root)
                     self.stats.evictions += 1
+                    self._obs_count("pm.evictions")
                     return False
                 return self.c0_free >= needed
             _, victim = victims[0]
             evict_subtree(self, victim)
             self.stats.evictions += 1
+            self._obs_count("pm.evictions")
         return True
 
     # ------------------------------------------------------------------- features
@@ -453,6 +480,13 @@ class PMOctree:
         stay DRAM-resident across the persist (incremental copying) —
         ``keep_resident`` overrides that default.
         """
+        with self._obs_span("pm.persist", epoch=self.epoch):
+            root = self._persist_impl(transform, keep_resident)
+        self._obs_count("pm.persists")
+        return root
+
+    def _persist_impl(self, transform: bool,
+                      keep_resident: Optional[bool]) -> int:
         from repro.core.merge import merge_all_c0
         from repro.core.transform import detect_and_transform
 
@@ -489,6 +523,7 @@ class PMOctree:
                 # V_{i-2} only; the freshly published root cannot reach them.
                 self.nvbm.write_octant(old, rec)
                 self.stats.marked_deleted += 1
+                self._obs_count("pm.marked_deleted")
         self._superseded.clear()
         self.nvbm.flush()
         if self.nvbm.free_fraction < self.config.threshold_nvbm:
@@ -568,7 +603,11 @@ class PMOctree:
 
         if self.merging:
             raise GCDisabledError("GC is disabled while a merge is in flight")
-        return mark_and_sweep(self)
+        with self._obs_span("pm.gc"):
+            res = mark_and_sweep(self)
+        self._obs_count("pm.gc_runs")
+        self._obs_count("pm.octants_reclaimed", res.swept)
+        return res
 
     def restore(self):
         """Recover from the last persist point (see repro.core.recovery)."""

@@ -144,6 +144,8 @@ def detect_and_transform(pmo: "PMOctree",
                         break  # victim is not clearly colder
                     evict_subtree(pmo, victim)
                     pmo.stats.evictions += 1
+                    pmo._obs_count("pm.evictions")
+                    pmo._obs_count("pm.transform_evicted_subtrees")
                     result.evicted.append(victim)
                     free = pmo.c0_free
                 if free < sizes[hot]:
@@ -153,4 +155,6 @@ def detect_and_transform(pmo: "PMOctree",
                 break  # still does not fit (capacity fragmentation)
             result.loaded.append(hot)
             pmo.stats.transformations += 1
+            pmo._obs_count("pm.transformations")
+            pmo._obs_count("pm.transform_loaded_subtrees")
     return result

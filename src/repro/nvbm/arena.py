@@ -110,6 +110,12 @@ class MemoryArena:
         #: optional ordering observer (see repro.analysis.tracker); checked
         #: on every store/flush/free, None in normal operation.
         self.tracer = None
+        #: bound obs counters (attach_obs); None in normal operation
+        self._m_stores = None
+        self._m_flush_calls = None
+        self._m_flush_records = None
+        self._m_allocs = None
+        self._m_frees = None
         if wear_leveling:
             from repro.nvbm.allocator import WearLevelingAllocator
 
@@ -122,6 +128,18 @@ class MemoryArena:
         # Root slots only make sense on a persistent arena but are harmless
         # on DRAM (they just vanish with everything else on a crash).
         self.roots = RootSlots(self.device, injector=injector)
+
+    def attach_obs(self, obs) -> None:
+        """Bind record-level counters (and the device's access counters)
+        from an :class:`repro.obs.Observability`, labeled by arena name."""
+        self.device.attach_obs(obs, device=self.name)
+        m = obs.metrics
+        self._m_stores = m.counter("arena.stores", arena=self.name)
+        self._m_flush_calls = m.counter("arena.flush_calls", arena=self.name)
+        self._m_flush_records = m.counter("arena.flush_records",
+                                          arena=self.name)
+        self._m_allocs = m.counter("arena.allocs", arena=self.name)
+        self._m_frees = m.counter("arena.frees", arena=self.name)
 
     # -- capacity ----------------------------------------------------------
 
@@ -151,6 +169,8 @@ class MemoryArena:
 
     def alloc(self) -> int:
         """Allocate a record slot and return its handle (contents undefined)."""
+        if self._m_allocs is not None:
+            self._m_allocs.inc()
         return make_handle(self.arena_id, self.allocator.alloc())
 
     def free(self, handle: int) -> None:
@@ -158,6 +178,8 @@ class MemoryArena:
         idx = self._check(handle)
         if self.tracer is not None:
             self.tracer.on_free(handle)
+        if self._m_frees is not None:
+            self._m_frees.inc()
         self.allocator.free(idx)
         self._backing.pop(idx, None)
         self._cache.pop(idx, None)
@@ -184,6 +206,8 @@ class MemoryArena:
         self.device.on_write(OCTANT_RECORD_SIZE, slot=idx)
         if self.tracer is not None:
             self.tracer.on_store(handle, cached=not self.spec.volatile)
+        if self._m_stores is not None:
+            self._m_stores.inc()
         if self.spec.volatile:
             self._backing[idx] = data
         else:
@@ -223,6 +247,9 @@ class MemoryArena:
             self.tracer.on_flush(
                 [make_handle(self.arena_id, idx) for idx in self._cache]
             )
+        if self._m_flush_calls is not None:
+            self._m_flush_calls.inc()
+            self._m_flush_records.inc(len(self._cache))
         self._backing.update(self._cache)
         self._cache.clear()
 

@@ -55,6 +55,21 @@ class MemoryDevice:
         self.track_wear = track_wear
         self._wear = np.zeros(0, dtype=np.int64)
         self._category = Category.MEM_DRAM if spec.volatile else Category.MEM_NVBM
+        # bound metric handles (attach_obs); None keeps the hot path a
+        # single attribute test per access
+        self._m_reads = None
+        self._m_writes = None
+        self._m_bytes_read = None
+        self._m_bytes_written = None
+
+    def attach_obs(self, obs, device: str = None) -> None:
+        """Bind access counters from an :class:`repro.obs.Observability`."""
+        label = device if device is not None else self.spec.name
+        m = obs.metrics
+        self._m_reads = m.counter("device.reads", device=label)
+        self._m_writes = m.counter("device.writes", device=label)
+        self._m_bytes_read = m.counter("device.bytes_read", device=label)
+        self._m_bytes_written = m.counter("device.bytes_written", device=label)
 
     def _lines(self, nbytes: int) -> int:
         return max(1, -(-nbytes // CACHE_LINE_SIZE))
@@ -66,6 +81,9 @@ class MemoryDevice:
         self.clock.advance(
             self._lines(nbytes) * self.spec.read_latency_ns, self._category
         )
+        if self._m_reads is not None:
+            self._m_reads.inc()
+            self._m_bytes_read.inc(nbytes)
 
     def on_write(self, nbytes: int, slot: int = -1) -> None:
         """Charge one write of ``nbytes``; bump wear for ``slot`` if tracked."""
@@ -74,6 +92,9 @@ class MemoryDevice:
         self.clock.advance(
             self._lines(nbytes) * self.spec.write_latency_ns, self._category
         )
+        if self._m_writes is not None:
+            self._m_writes.inc()
+            self._m_bytes_written.inc(nbytes)
         if self.track_wear and slot >= 0:
             if slot >= self._wear.size:
                 grown = np.zeros(max(slot + 1, 2 * self._wear.size, 1024), dtype=np.int64)

@@ -188,10 +188,24 @@ def _ownership_counts(lin: LinearOctree, cuts: np.ndarray) -> np.ndarray:
     return counts
 
 
-def run_parallel(cfg: RunConfig) -> RunResult:
-    """Execute one configuration and return its scaled metrics."""
+def run_parallel(cfg: RunConfig, obs=None) -> RunResult:
+    """Execute one configuration and return its scaled metrics.
+
+    ``obs`` (optional :class:`repro.obs.Observability`) is late-bound to the
+    run's probe clock (unless a clock is already bound), attached to every
+    memory arena and the tree, and fed per-step trace spans plus per-rank
+    phase gauges at the final barrier.
+    """
     probe = SimClock()
+    if obs is not None and obs.metrics.clock is None:
+        obs.bind_clock(probe)
     tree, persistence, resources = _build_backend(cfg.backend, probe, cfg)
+    if obs is not None:
+        for res in resources.values():
+            if isinstance(res, MemoryArena):
+                res.attach_obs(obs)
+        if hasattr(tree, "attach_obs"):
+            tree.attach_obs(obs)
     if cfg.workload == "droplet":
         sim = DropletSimulation(tree, cfg.solver, clock=probe,
                                 persistence=persistence)
@@ -247,9 +261,17 @@ def run_parallel(cfg: RunConfig) -> RunResult:
     prev_lin = LinearOctree.from_tree(tree)
     cuts = _equal_cuts(prev_lin, cfg.nranks)
     uniform = np.full(cfg.nranks, 1.0 / cfg.nranks)
+    from contextlib import nullcontext
+
     for _step in range(cfg.steps):
         prev_leaves = set(int(loc) for loc in prev_lin.locs)
-        sim.step()
+        step_span = (
+            obs.tracer.span("parallel.step", step=_step,
+                            backend=cfg.backend.value)
+            if obs is not None else nullcontext()
+        )
+        with step_span:
+            sim.step()
         lin = LinearOctree.from_tree(tree)
         prev_lin = lin
         # Ownership is still last step's ranges: refinement near the moving
@@ -359,6 +381,15 @@ def run_parallel(cfg: RunConfig) -> RunResult:
     makespan = comm.makespan_ns()
     phases = comm.phase_breakdown()
     stats = getattr(tree, "stats", None)
+    if obs is not None:
+        from repro.obs import snapshot_clock
+
+        for ctx in ranks:
+            snapshot_clock(obs, ctx.clock, rank=ctx.rank)
+        obs.metrics.gauge("run.makespan_ns",
+                          backend=cfg.backend.value).set(makespan)
+        obs.metrics.gauge("run.scale_factor",
+                          backend=cfg.backend.value).set(scale)
     return RunResult(
         config=cfg,
         makespan_s=makespan * 1e-9,

@@ -12,7 +12,7 @@ the Fig 7/8b breakdowns.
 
 from __future__ import annotations
 
-from contextlib import nullcontext
+from contextlib import ExitStack, nullcontext
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
@@ -65,6 +65,8 @@ class DropletSimulation:
         self.step_count = 0
         self.t = 0.0
         self.history: List[StepReport] = []
+        #: optional repro.obs.Observability; phases become trace spans too
+        self.obs = None
         # hand the feature function to PM-octree when driving one (§3.3):
         # the write-set predictor for the *next* step's time
         if hasattr(tree, "register_feature"):
@@ -76,7 +78,15 @@ class DropletSimulation:
         return fn(loc, payload)
 
     def _phase(self, name: str):
-        return self.clock.phase(name) if self.clock is not None else nullcontext()
+        """Clock-phase context; doubles as a trace span when obs is attached."""
+        stack = ExitStack()
+        if self.clock is not None:
+            stack.enter_context(self.clock.phase(name))
+        if self.obs is not None:
+            stack.enter_context(
+                self.obs.tracer.span("sim." + name, step=self.step_count)
+            )
+        return stack
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -115,21 +125,28 @@ class DropletSimulation:
         """Advance one time step; returns the step report."""
         self.step_count += 1
         self.t = self.step_count * self.config.dt
-        with self._phase("refine"):
-            res = self._adapt()
-        with self._phase("balance"):
-            balance_tree(self.tree, max_level=self.config.max_level)
-        with self._phase("solve"):
-            counters = advect_vof(self.tree, self.geometry, self.config, self.t)
-            if self.pressure_every and self.step_count % self.pressure_every == 0:
-                pressure_solve(self.tree)
-            if self.clock is not None:
-                self.clock.advance(
-                    COMPUTE_NS_PER_LEAF * counters["reads"]
-                )
-        if self.persistence is not None:
-            with self._phase("persist"):
-                self.persistence(self)
+        step_span = (
+            self.obs.tracer.span("sim.step", step=self.step_count)
+            if self.obs is not None else nullcontext()
+        )
+        with step_span:
+            with self._phase("refine"):
+                res = self._adapt()
+            with self._phase("balance"):
+                balance_tree(self.tree, max_level=self.config.max_level)
+            with self._phase("solve"):
+                counters = advect_vof(self.tree, self.geometry, self.config,
+                                      self.t)
+                if self.pressure_every \
+                        and self.step_count % self.pressure_every == 0:
+                    pressure_solve(self.tree)
+                if self.clock is not None:
+                    self.clock.advance(
+                        COMPUTE_NS_PER_LEAF * counters["reads"]
+                    )
+            if self.persistence is not None:
+                with self._phase("persist"):
+                    self.persistence(self)
         report = StepReport(
             step=self.step_count,
             t=self.t,

@@ -1,0 +1,144 @@
+"""The regression-gated bench pipeline and its committed baseline.
+
+Covers the acceptance criteria directly: the committed ``BENCH_pr3.json``
+validates against the schema, a fresh run self-compares clean, and a
+synthetically injected 2x NVBM-write regression fails the gate with a
+typed report — through both the library API and the CLI.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import main
+from repro.harness.bench import GATES, compare_envelopes, run_bench
+from repro.harness.report import BENCH_SCHEMA, bench_envelope, validate_envelope
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+BASELINE_PATH = REPO_ROOT / "BENCH_pr3.json"
+
+
+@pytest.fixture(scope="module")
+def envelope():
+    return run_bench(pr=3)
+
+
+def test_committed_baseline_is_valid(envelope):
+    assert BASELINE_PATH.is_file(), "BENCH_pr3.json must be committed"
+    baseline = json.loads(BASELINE_PATH.read_text())
+    assert validate_envelope(baseline) == []
+    assert baseline["schema"] == BENCH_SCHEMA
+    assert baseline["pr"] == 3
+    # the committed file matches what the current code produces
+    assert baseline["metrics"] == envelope["metrics"]
+    assert baseline["gates"] == envelope["gates"]
+
+
+def test_run_bench_envelope_is_valid_and_gated(envelope):
+    assert validate_envelope(envelope) == []
+    gated = {g["metric"] for g in envelope["gates"]}
+    assert gated == {g["metric"] for g in GATES}
+    # every gated metric must have a nonzero baseline value — a zero
+    # baseline makes relative tolerance meaningless
+    for name in gated:
+        assert envelope["metrics"][name] != 0, f"{name} gated at zero"
+
+
+def test_self_compare_is_clean(envelope):
+    report = compare_envelopes(envelope, envelope)
+    assert report.ok
+    assert report.checked == len(envelope["gates"])
+    assert report.regressions == []
+
+
+def test_injected_write_regression_fails_the_gate(envelope):
+    current = json.loads(json.dumps(envelope))
+    current["metrics"]["droplet.nvbm_writes"] *= 2  # the acceptance probe
+    report = compare_envelopes(envelope, current)
+    assert not report.ok
+    kinds = {(r.metric, r.kind) for r in report.regressions}
+    assert ("droplet.nvbm_writes", "regression") in kinds
+    reg = next(r for r in report.regressions
+               if r.metric == "droplet.nvbm_writes")
+    assert reg.ratio == pytest.approx(2.0)
+    assert "tolerance" in reg.describe()
+
+
+def test_higher_is_better_gate_direction(envelope):
+    """overlap_ratio_min gates in the 'higher' direction: a drop fails,
+    a rise passes."""
+    worse = json.loads(json.dumps(envelope))
+    worse["metrics"]["droplet.overlap_ratio_min"] *= 0.5
+    assert not compare_envelopes(envelope, worse).ok
+    better = json.loads(json.dumps(envelope))
+    better["metrics"]["droplet.overlap_ratio_min"] *= 1.01
+    assert compare_envelopes(envelope, better).ok
+
+
+def test_small_drift_within_tolerance_passes(envelope):
+    current = json.loads(json.dumps(envelope))
+    current["metrics"]["droplet.makespan_ns"] *= 1.05  # gate allows 10%
+    assert compare_envelopes(envelope, current).ok
+
+
+def test_missing_metric_is_reported(envelope):
+    current = json.loads(json.dumps(envelope))
+    del current["metrics"]["replication.retries"]
+    report = compare_envelopes(envelope, current)
+    assert not report.ok
+    assert any(r.kind == "missing" and r.metric == "replication.retries"
+               for r in report.regressions)
+
+
+def test_schema_mismatch_is_reported(envelope):
+    current = json.loads(json.dumps(envelope))
+    current["schema"] = "repro-bench/v999"
+    report = compare_envelopes(envelope, current)
+    assert not report.ok
+    assert any(r.kind == "schema" for r in report.regressions)
+
+
+def test_validate_envelope_rejects_malformed():
+    assert validate_envelope({}) != []
+    bad_gate = bench_envelope(1, "s", {"m": 1.0},
+                              [{"metric": "m", "tolerance": 0.1,
+                                "direction": "sideways"}])
+    assert any("direction" in e for e in validate_envelope(bad_gate))
+    ghost_gate = bench_envelope(1, "s", {"m": 1.0},
+                                [{"metric": "ghost", "tolerance": 0.1,
+                                  "direction": "lower"}])
+    assert any("ghost" in e for e in validate_envelope(ghost_gate))
+
+
+def test_cli_compare_exit_codes(envelope, tmp_path, capsys):
+    base = tmp_path / "base.json"
+    base.write_text(json.dumps(envelope))
+    same = tmp_path / "same.json"
+    same.write_text(json.dumps(envelope))
+    assert main(["bench", "--compare", str(base),
+                 "--current", str(same)]) == 0
+    assert "OK" in capsys.readouterr().out
+
+    bad = json.loads(json.dumps(envelope))
+    bad["metrics"]["droplet.nvbm_writes"] *= 2
+    worse = tmp_path / "worse.json"
+    worse.write_text(json.dumps(bad))
+    assert main(["bench", "--compare", str(base),
+                 "--current", str(worse)]) == 1
+    out = capsys.readouterr().out
+    assert "droplet.nvbm_writes" in out
+
+
+def test_cli_rejects_invalid_envelope(tmp_path, capsys):
+    junk = tmp_path / "junk.json"
+    junk.write_text(json.dumps({"schema": "nope"}))
+    assert main(["bench", "--compare", str(junk),
+                 "--current", str(junk)]) == 2
+    assert "invalid" in capsys.readouterr().err.lower()
+
+
+def test_bench_is_deterministic(envelope):
+    again = run_bench(pr=3)
+    assert json.dumps(envelope, sort_keys=True) \
+        == json.dumps(again, sort_keys=True)

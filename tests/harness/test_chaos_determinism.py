@@ -1,0 +1,56 @@
+"""Chaos harness determinism: same seed, same bytes.
+
+The chaos trials drive real replication state machines through injected
+fault schedules.  Reproducibility is what makes the shrunk reproducer a
+usable artifact: two in-process runs with the same seed must serialize
+to *byte-identical* JSON, including the minimized failing schedule.
+"""
+
+import json
+
+from repro.harness.chaos import run_chaos
+from repro.harness.report import render_json
+
+
+def _serialize(report):
+    sections = {"trials": [t.to_row() for t in report.trials]}
+    if report.reproducer is not None:
+        sections["reproducer"] = [{
+            k: json.dumps(v, sort_keys=True)
+            for k, v in report.reproducer.items()
+        }]
+    return render_json(sections, report.ok)
+
+
+def test_same_seed_is_byte_identical():
+    a = run_chaos(trials=4, seed=0, steps=6)
+    b = run_chaos(trials=4, seed=0, steps=6)
+    assert _serialize(a) == _serialize(b)
+
+
+def test_broken_acks_failure_and_reproducer_are_deterministic():
+    """break_acks guarantees a violation, which exercises the shrinker —
+    the minimized schedule must come out identical both times."""
+    a = run_chaos(trials=3, seed=0, steps=6, break_acks=True)
+    b = run_chaos(trials=3, seed=0, steps=6, break_acks=True)
+    assert not a.ok
+    assert a.reproducer is not None
+    assert a.reproducer["violations"]
+    assert _serialize(a) == _serialize(b)
+
+
+def test_different_seeds_draw_different_schedules():
+    a = run_chaos(trials=4, seed=1, steps=6)
+    b = run_chaos(trials=4, seed=2, steps=6)
+    events_a = [t.events_applied for t in a.trials]
+    events_b = [t.events_applied for t in b.trials]
+    assert events_a != events_b
+
+
+def test_reproducer_replays_the_same_violation():
+    report = run_chaos(trials=3, seed=0, steps=6, break_acks=True)
+    rep = report.reproducer
+    replay = run_chaos(seed=rep["seed"], steps=6, break_acks=True,
+                       only_trial=rep["trial"])
+    assert len(replay.trials) == 1
+    assert list(replay.trials[0].violations) == list(rep["violations"])

@@ -1,0 +1,148 @@
+"""End-to-end: one Observability attached across the whole stack.
+
+The obs counters are *mirrors* of state the components already track
+(DeviceStats, PMStats, SessionStats), so each test cross-checks the mirror
+against its source of truth — a disagreement means an instrumentation site
+was missed or double-counted.
+"""
+
+import pytest
+
+from repro.config import PMOctreeConfig, SolverConfig
+from repro.core import pm_create
+from repro.core.replication import ReplicaSession
+from repro.obs import Observability, observe_rig, snapshot_wear
+from repro.parallel.runtime import Backend, RunConfig, run_parallel
+from repro.solver.simulation import DropletSimulation
+
+
+@pytest.fixture
+def rig(clock, dram_arena, nvbm_arena):
+    # obs attaches to the arenas before the tree exists so the device
+    # counters see the construction traffic too (exact-mirror tests)
+    obs = Observability(clock)
+    observe_rig(obs, arenas=(dram_arena, nvbm_arena))
+    tree = pm_create(dram_arena, nvbm_arena, dim=2,
+                     config=PMOctreeConfig(dram_capacity_octants=96,
+                                           seed=11))
+    observe_rig(obs, tree=tree)
+    return obs, clock, dram_arena, nvbm_arena, tree
+
+
+def _run_droplet(clock, tree, steps=6, obs=None):
+    solver = SolverConfig(dim=2, min_level=2, max_level=4, dt=0.01)
+
+    def persistence(sim_):
+        sim_.tree.persist()
+        sim_.tree.gc()
+
+    sim = DropletSimulation(tree, solver, clock=clock,
+                            persistence=persistence)
+    if obs is not None:
+        sim.obs = obs
+    sim.run(steps)
+    return sim
+
+
+def test_device_counters_mirror_device_stats(rig):
+    obs, clock, dram, nvbm, tree = rig
+    _run_droplet(clock, tree)
+    for arena in (dram, nvbm):
+        assert obs.metrics.get("device.reads", device=arena.name).value \
+            == arena.device.stats.reads
+        assert obs.metrics.get("device.writes", device=arena.name).value \
+            == arena.device.stats.writes
+        assert obs.metrics.get("device.bytes_written",
+                               device=arena.name).value \
+            == arena.device.stats.bytes_written
+
+
+def test_pm_counters_mirror_pm_stats(rig):
+    obs, clock, dram, nvbm, tree = rig
+    _run_droplet(clock, tree)
+    m = obs.metrics
+    s = tree.stats
+    assert m.total("pm.cow_copies") == s.cow_copies
+    assert m.total("pm.inplace_updates") == s.inplace_updates
+    assert m.total("pm.evictions") == s.evictions
+    assert m.total("pm.merges") == s.merges
+    assert m.total("pm.persists") == s.persists
+    assert m.total("pm.transformations") == s.transformations
+    assert m.total("pm.gc_runs") == s.gc_runs
+    assert m.total("pm.octants_reclaimed") == s.octants_reclaimed
+    assert m.total("pm.marked_deleted") == s.marked_deleted
+    # the run must actually exercise the interesting paths
+    assert s.persists > 0 and s.merges > 0
+
+
+def test_simulation_spans_nest_under_step(rig):
+    obs, clock, dram, nvbm, tree = rig
+    _run_droplet(clock, tree, steps=3, obs=obs)
+    steps = obs.tracer.named("sim.step")
+    assert len(steps) == 3
+    for sp in steps:
+        child_names = {c.name for c in obs.tracer.children_of(sp)}
+        assert {"sim.refine", "sim.balance",
+                "sim.solve", "sim.persist"} <= child_names
+    # pm.persist nests under the sim.persist phase span
+    persists = obs.tracer.named("pm.persist")
+    assert persists
+    parent_names = {
+        next(s.name for s in obs.tracer.spans
+             if s.span_id == p.parent_id)
+        for p in persists
+    }
+    assert parent_names == {"sim.persist"}
+    # span durations are simulated time: the step spans cover the clock
+    assert sum(s.duration_ns for s in steps) <= clock.now_ns
+
+
+def test_replication_counters_mirror_session_stats(rig):
+    obs, clock, dram, nvbm, tree = rig
+    session = ReplicaSession(tree)
+    observe_rig(obs, session=session)
+    solver = SolverConfig(dim=2, min_level=2, max_level=4, dt=0.01)
+
+    def persistence(sim_):
+        sim_.tree.persist()
+        session.ship()
+
+    DropletSimulation(tree, solver, clock=clock,
+                      persistence=persistence).run(4)
+    m, s = obs.metrics, session.stats
+    assert s.ships > 0
+    assert m.total("replication.ships") == s.ships
+    assert m.total("replication.bytes_shipped") == s.bytes_shipped
+    assert m.total("replication.retries") == s.retries
+    assert m.get("replication.ship_attempts", peer="peer").count == s.ships
+
+
+def test_wear_snapshot_matches_device(rig):
+    obs, clock, dram, nvbm, tree = rig
+    _run_droplet(clock, tree)
+    snapshot_wear(obs, nvbm.device, nvbm.name)
+    hist = obs.metrics.get("device.wear_writes_per_slot", device=nvbm.name)
+    assert hist.sum == nvbm.device.wear_total()
+    assert hist.max == nvbm.device.wear_max()
+    assert obs.metrics.get("device.wear_max", device=nvbm.name).value \
+        == nvbm.device.wear_max()
+
+
+def test_run_parallel_accepts_obs_and_binds_probe_clock():
+    obs = Observability()  # no clock yet: run_parallel late-binds its probe
+    cfg = RunConfig(backend=Backend.PM_OCTREE, nranks=4,
+                    target_elements=1e5, steps=3)
+    result = run_parallel(cfg, obs=obs)
+    assert obs.metrics.clock is not None
+    # per-rank phase gauges exist for every rank
+    for r in range(cfg.nranks):
+        assert obs.metrics.get("clock.now_ns", rank=r) is not None
+    makespan = obs.metrics.get("run.makespan_ns",
+                               backend=Backend.PM_OCTREE.value)
+    assert makespan.value == pytest.approx(result.makespan_s * 1e9)
+    # device counters rode along via the resources dict
+    assert obs.metrics.total("device.writes") > 0
+    assert obs.tracer.named("parallel.step")
+    # and the un-observed run still works exactly as before
+    result2 = run_parallel(cfg)
+    assert result2.makespan_s == pytest.approx(result.makespan_s)

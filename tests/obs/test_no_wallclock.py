@@ -1,0 +1,39 @@
+"""Acceptance guard: the observability layer never reads wall time.
+
+Every timestamp in ``src/repro/obs/`` must come from the simulated clock;
+a single ``time.time()`` would make bench envelopes machine-dependent.
+"""
+
+import pathlib
+import re
+
+OBS_DIR = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro" / "obs"
+
+FORBIDDEN = re.compile(
+    r"\btime\.(time|perf_counter|monotonic|process_time|time_ns"
+    r"|perf_counter_ns|monotonic_ns)\b"
+    r"|\bdatetime\.(now|utcnow|today)\b"
+    r"|^\s*import time\b"
+    r"|^\s*from time import\b"
+    r"|^\s*import datetime\b"
+    r"|^\s*from datetime import\b",
+    re.MULTILINE,
+)
+
+
+def test_obs_package_exists():
+    assert OBS_DIR.is_dir()
+    assert (OBS_DIR / "__init__.py").is_file()
+
+
+def test_no_wall_clock_reads_in_obs_sources():
+    offenders = []
+    for path in sorted(OBS_DIR.rglob("*.py")):
+        text = path.read_text()
+        for m in FORBIDDEN.finditer(text):
+            line = text.count("\n", 0, m.start()) + 1
+            offenders.append(f"{path.name}:{line}: {m.group(0).strip()}")
+    assert not offenders, (
+        "wall-clock reads in the obs layer (use the SimClock instead):\n"
+        + "\n".join(offenders)
+    )

@@ -1,0 +1,116 @@
+"""Seeded property tests for leaf-neighbor resolution on random trees.
+
+Builds random *balanced* adaptive trees (2:1 level constraint, as every
+caller of the neighbor machinery guarantees via balance_tree) and checks
+symmetry and geometric adjacency of the resolved neighbor relation.
+"""
+
+import random
+
+import pytest
+
+from repro.octree import morton
+from repro.octree.balance import balance_tree
+from repro.octree.neighbors import face_neighbor_leaves, leaf_neighbor
+from repro.octree.tree import PointerOctree
+
+
+def random_balanced_tree(arena, dim, seed, depth=4, rounds=12):
+    rng = random.Random(seed)
+    tree = PointerOctree(arena, dim=dim)
+    for _ in range(rounds):
+        leaves = list(tree.leaves())
+        loc = rng.choice(leaves)
+        if morton.level_of(loc, dim) < depth:
+            tree.refine(loc)
+    balance_tree(tree, max_level=depth)
+    return tree
+
+
+def _faces_touch(a, b, dim):
+    """True when cells a and b share a (dim-1)-face in the unit cube."""
+    alo, ahi = morton.cell_bounds(a, dim)
+    blo, bhi = morton.cell_bounds(b, dim)
+    eps = 1e-12
+    touching_axes = 0
+    for ax in range(dim):
+        if abs(ahi[ax] - blo[ax]) < eps or abs(bhi[ax] - alo[ax]) < eps:
+            touching_axes += 1
+        elif ahi[ax] - blo[ax] < eps or bhi[ax] - alo[ax] < eps:
+            return False  # disjoint on this axis: at most corner contact
+    # exactly one axis touches, the others overlap with positive measure
+    if touching_axes != 1:
+        return False
+    overlaps = 0
+    for ax in range(dim):
+        if min(ahi[ax], bhi[ax]) - max(alo[ax], blo[ax]) > eps:
+            overlaps += 1
+    return overlaps == dim - 1
+
+
+@pytest.mark.parametrize("dim", (2, 3))
+@pytest.mark.parametrize("seed", range(4))
+def test_face_neighbor_leaves_symmetry(dram_arena, dim, seed):
+    """If B is listed as a face neighbor of leaf A, A is listed for B."""
+    tree = random_balanced_tree(dram_arena, dim, seed)
+    leaves = list(tree.leaves())
+    adjacency = {
+        loc: {n for n, _ax, _d in face_neighbor_leaves(tree, loc)}
+        for loc in leaves
+    }
+    for loc, nbrs in adjacency.items():
+        for n in nbrs:
+            assert loc in adjacency[n], (
+                f"dim={dim} seed={seed}: {n:#x} neighbors {loc:#x} "
+                "but not vice versa"
+            )
+
+
+@pytest.mark.parametrize("dim", (2, 3))
+@pytest.mark.parametrize("seed", range(4))
+def test_face_neighbors_are_geometric_face_sharers(dram_arena, dim, seed):
+    tree = random_balanced_tree(dram_arena, dim, seed)
+    for loc in tree.leaves():
+        for n, _axis, _direction in face_neighbor_leaves(tree, loc):
+            assert _faces_touch(loc, n, dim)
+
+
+@pytest.mark.parametrize("dim", (2, 3))
+@pytest.mark.parametrize("seed", range(4))
+def test_every_interior_face_has_a_neighbor(dram_arena, dim, seed):
+    """A face not on the domain boundary resolves to >= 1 leaf."""
+    tree = random_balanced_tree(dram_arena, dim, seed)
+    for loc in tree.leaves():
+        level = morton.level_of(loc, dim)
+        coords = morton.coords_of(loc, dim)
+        for axis in range(dim):
+            for direction in (-1, 1):
+                at_boundary = (
+                    coords[axis] == 0 if direction < 0
+                    else coords[axis] == (1 << level) - 1
+                )
+                resolved = [
+                    n for n, ax, d in face_neighbor_leaves(tree, loc)
+                    if ax == axis and d == direction
+                ]
+                if at_boundary:
+                    assert resolved == []
+                else:
+                    assert resolved, (
+                        f"interior face axis={axis} dir={direction} of "
+                        f"{loc:#x} resolved to nothing"
+                    )
+
+
+@pytest.mark.parametrize("dim", (2, 3))
+def test_leaf_neighbor_equal_level_matches_morton(dram_arena, dim):
+    """On a uniform tree every neighbor is same-level Morton arithmetic."""
+    tree = PointerOctree(dram_arena, dim=dim)
+    for _ in range(2):
+        for loc in list(tree.leaves()):
+            tree.refine(loc)
+    for loc in tree.leaves():
+        for axis in range(dim):
+            for direction in (-1, 1):
+                expect = morton.neighbor_of(loc, dim, axis, direction)
+                assert leaf_neighbor(tree, loc, axis, direction) == expect

@@ -1,0 +1,125 @@
+"""Seeded property tests for the space-filling-curve machinery.
+
+Checks the algebraic properties the partitioner relies on: the curve
+indices are bijections over the grid, consecutive indices stay
+face-adjacent (the locality property that makes Hilbert cuts cheap), and
+range partitioning is contiguous along the curve with near-equal shares.
+"""
+
+import random
+
+import pytest
+
+from repro.octree import morton
+from repro.parallel.sfc import (
+    hilbert_index_2d,
+    hilbert_index_3d,
+    hilbert_key,
+    partition_by_key,
+)
+
+
+@pytest.mark.parametrize("order", (1, 2, 3, 4))
+def test_hilbert_2d_is_a_bijection(order):
+    side = 1 << order
+    seen = {hilbert_index_2d(x, y, order)
+            for x in range(side) for y in range(side)}
+    assert seen == set(range(side * side))
+
+
+@pytest.mark.parametrize("order", (1, 2, 3))
+def test_hilbert_3d_is_a_bijection(order):
+    side = 1 << order
+    seen = {hilbert_index_3d(x, y, z, order)
+            for x in range(side) for y in range(side) for z in range(side)}
+    assert seen == set(range(side ** 3))
+
+
+@pytest.mark.parametrize("order", (1, 2, 3, 4))
+def test_hilbert_2d_consecutive_cells_are_face_adjacent(order):
+    """The defining Hilbert property: step d -> d+1 moves one cell."""
+    side = 1 << order
+    by_index = {hilbert_index_2d(x, y, order): (x, y)
+                for x in range(side) for y in range(side)}
+    for d in range(side * side - 1):
+        (x0, y0), (x1, y1) = by_index[d], by_index[d + 1]
+        assert abs(x1 - x0) + abs(y1 - y0) == 1, (
+            f"order={order}: jump at d={d}: {(x0, y0)} -> {(x1, y1)}"
+        )
+
+
+def test_hilbert_3d_gray_walk_is_face_adjacent_per_level():
+    """Consecutive octants in the Gray-code walk differ in exactly one bit,
+    i.e. they share a face of the 2x2x2 block at every recursion level."""
+    by_index = {hilbert_index_3d(x, y, z, 1): (x, y, z)
+                for x in range(2) for y in range(2) for z in range(2)}
+    for d in range(7):
+        a, b = by_index[d], by_index[d + 1]
+        assert sum(abs(i - j) for i, j in zip(a, b)) == 1
+
+
+def test_hilbert_2d_rejects_out_of_grid():
+    with pytest.raises(ValueError):
+        hilbert_index_2d(4, 0, 2)
+    with pytest.raises(ValueError):
+        hilbert_index_3d(0, -1, 0, 2)
+
+
+def _random_leaf_set(rng, dim, max_level, n):
+    """n distinct leaf codes at random levels <= max_level."""
+    out = set()
+    while len(out) < n:
+        level = rng.randint(1, max_level)
+        loc = morton.ROOT_LOC
+        for _ in range(level):
+            loc = morton.child_of(loc, dim, rng.randrange(morton.fanout(dim)))
+        out.add(loc)
+    return sorted(out)
+
+
+@pytest.mark.parametrize("dim", (2, 3))
+@pytest.mark.parametrize("key_fn", (morton.zorder_key, hilbert_key),
+                         ids=("morton", "hilbert"))
+def test_partition_is_contiguous_along_the_curve(dim, key_fn):
+    """Walking the key-sorted leaves, the rank sequence never decreases:
+    each rank owns exactly one contiguous range of the curve."""
+    rng = random.Random(42 + dim)
+    max_level = 5
+    for nranks in (1, 2, 3, 7):
+        leaves = _random_leaf_set(rng, dim, max_level, 120)
+        assignment = partition_by_key(leaves, dim, max_level, nranks, key_fn)
+        assert set(assignment) == set(leaves)  # full coverage
+        ordered = sorted(leaves, key=lambda leaf: key_fn(leaf, dim, max_level))
+        ranks = [assignment[leaf] for leaf in ordered]
+        assert all(a <= b for a, b in zip(ranks, ranks[1:]))
+        assert set(ranks) == set(range(nranks))  # every rank non-empty
+
+
+@pytest.mark.parametrize("dim", (2, 3))
+def test_partition_shares_are_near_equal(dim):
+    rng = random.Random(100 + dim)
+    max_level = 5
+    leaves = _random_leaf_set(rng, dim, max_level, 200)
+    for nranks in (2, 4, 8):
+        assignment = partition_by_key(leaves, dim, max_level, nranks,
+                                      hilbert_key)
+        sizes = [0] * nranks
+        for rank in assignment.values():
+            sizes[rank] += 1
+        assert max(sizes) - min(sizes) <= 1
+
+
+@pytest.mark.parametrize("dim", (2, 3))
+def test_hilbert_key_is_a_total_order_on_distinct_leaves(dim):
+    rng = random.Random(7 + dim)
+    leaves = _random_leaf_set(rng, dim, 5, 150)
+    keys = {hilbert_key(leaf, dim, 5) for leaf in leaves}
+    assert len(keys) == len(leaves)
+
+
+def test_hilbert_key_rejects_too_deep_codes():
+    loc = morton.ROOT_LOC
+    for _ in range(4):
+        loc = morton.child_of(loc, 2, 0)
+    with pytest.raises(ValueError):
+        hilbert_key(loc, 2, 3)
