@@ -1,8 +1,12 @@
 """pmlint: an AST static pass that knows the PM-octree persistence API.
 
 The checker understands the NVBM API surface — ``MemoryArena.write`` /
-``write_octant`` / ``new_octant``, ``RootSlots.set`` / ``swap``, ``flush()``
-and ``injector.site(...)`` — and enforces three rules over ``src/repro``:
+``write_octant`` / ``new_octant``, the field-granular stores
+(``write_field`` / ``write_payload`` / ``write_child_slot`` /
+``write_child_slots`` / ``set_flags``, which are flush-tracked and
+COW-checked exactly like full-record stores), ``RootSlots.set`` / ``swap``,
+``flush()`` and ``injector.site(...)`` — and enforces three rules over
+``src/repro``:
 
 ``missing-flush``
     Within a function, an NVBM store can reach a root-slot *publish* (a
@@ -38,9 +42,13 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from repro.nvbm import sites as default_sites_module
 
 #: attribute names whose call on an NVBM receiver counts as a store.
-WRITE_ATTRS = ("write", "write_octant", "new_octant")
+WRITE_ATTRS = ("write", "write_octant", "new_octant", "write_field",
+               "write_payload", "write_child_slot", "write_child_slots",
+               "set_flags")
 #: attribute names that can mutate an *existing* record in place.
-INPLACE_WRITE_ATTRS = ("write", "write_octant")
+INPLACE_WRITE_ATTRS = ("write", "write_octant", "write_field",
+                       "write_payload", "write_child_slot",
+                       "write_child_slots", "set_flags")
 #: names of the slot constants / literals whose store is a commit point.
 PUBLISH_SLOT_CONSTS = ("SLOT_PREV",)
 PUBLISH_SLOT_LITERALS = ("V_prev",)

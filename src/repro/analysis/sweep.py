@@ -124,12 +124,32 @@ def _setup_workload(rig: _Rig) -> List[int]:
 
 
 def _busy_step(rig: _Rig, hot: List[int], step: int, seed: int) -> None:
-    """One time step touching COW, refinement, eviction and the persist."""
+    """One time step touching COW, refinement, coarsening, eviction and the
+    persist (so every partial-store crash site is reachable)."""
     tree = rig.tree
     leaves = sorted(tree.leaves())
     for i, leaf in enumerate(leaves[: 6 + step % 3]):
         tree.set_payload(leaf, (float(step), float(i), 0.0, 0.0))
     tree.refine(leaves[(seed + step) % len(leaves)])
+    if step >= 4 and step % 2:
+        # once the tree outgrew the DRAM budget, collapse one internal
+        # octant whose children are all leaves, preferring an NVBM-resident
+        # one so the partial-store coarsen path (and its coarsen.mid site)
+        # is visited — earlier steps are left to pure growth so the COW
+        # sites stay reachable too
+        from repro.nvbm.pointers import is_nvbm
+
+        candidates = sorted(
+            (
+                loc for loc in tree._index
+                if loc not in tree._leaf_set
+                and all(c in tree._leaf_set
+                        for c in morton.children_of(loc, tree.dim))
+            ),
+            key=lambda loc: (not is_nvbm(tree._index[loc]), loc),
+        )
+        if candidates:
+            tree.coarsen(candidates[0])
     hot[0] = morton.loc_from_coords(1, ((step + 1) % 2, 0), 2)
     tree.persist(transform=True)
 

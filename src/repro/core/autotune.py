@@ -40,6 +40,7 @@ class TuneDecision:
     nvbm_writes_delta: int
     c0_size: int
     action: str  # "grow" | "shrink" | "hold"
+    hot_spills_delta: int = 0
 
 
 @dataclass
@@ -56,9 +57,13 @@ class C0AutoTuner:
     shrink_factor: float = 0.75  #: multiplicative decrease
     #: shrink when the resident set uses less than this fraction of budget
     low_watermark: float = 0.5
+    #: eviction churn only justifies growth when it actually cost NVBM
+    #: traffic: at least this many NVBM writes since the last observation
+    write_pressure: int = 8
     history: List[TuneDecision] = field(default_factory=list)
     _last_evictions: int = 0
     _last_nvbm_writes: int = 0
+    _last_hot_spills: int = 0
     _steps: int = 0
 
     def observe(self, pmo: "PMOctree") -> TuneDecision:
@@ -66,17 +71,24 @@ class C0AutoTuner:
         self._steps += 1
         evictions = pmo.stats.evictions
         nvbm_writes = pmo.nvbm.device.stats.writes
+        hot_spills = pmo.stats.hot_spills
         d_evict = evictions - self._last_evictions
         d_writes = nvbm_writes - self._last_nvbm_writes
+        d_spills = hot_spills - self._last_hot_spills
         self._last_evictions = evictions
         self._last_nvbm_writes = nvbm_writes
+        self._last_hot_spills = hot_spills
 
         budget = pmo.config.dram_capacity_octants
         c0 = pmo.dram.used
         max_allowed = min(self.max_budget, pmo.dram.capacity)
 
-        if d_evict > 0 and budget < max_allowed:
-            # the budget forced merges out: give C0 more room
+        pressured = (d_evict > 0 and d_writes >= self.write_pressure) \
+            or d_spills > 0
+        if pressured and budget < max_allowed:
+            # the budget forced merges out (and the churn cost real NVBM
+            # writes), or the transformation could not fit a hot subtree:
+            # give C0 more room
             new_budget = min(max_allowed, budget + self.grow_step)
             action = "grow"
         elif d_evict == 0 and c0 < self.low_watermark * budget \
@@ -102,6 +114,7 @@ class C0AutoTuner:
             nvbm_writes_delta=d_writes,
             c0_size=c0,
             action=action,
+            hot_spills_delta=d_spills,
         )
         self.history.append(decision)
         return decision

@@ -112,7 +112,9 @@ def merge_subtree(pmo: "PMOctree", root_loc: int,
         for loc, nv_handle in merged.items():
             pmo._origin[loc] = nv_handle
             pmo._dirty.discard(loc)
-        pmo._c0_roots[root_loc].size = len(merged)
+        stats = pmo._c0_roots[root_loc]
+        stats.size = len(merged)
+        stats.locs = set(merged)
     else:
         # eviction: release DRAM and point the working version at NVBM
         for loc, nv_handle in merged.items():
@@ -126,22 +128,24 @@ def merge_subtree(pmo: "PMOctree", root_loc: int,
 
 
 def splice_into_parent(pmo: "PMOctree", root_loc: int, new_handle: int) -> None:
-    """Point the working version's parent of ``root_loc`` at ``new_handle``."""
+    """Point the working version's parent of ``root_loc`` at ``new_handle``.
+
+    A single child-slot store (one cache line), not a record rewrite.
+    """
     if root_loc == morton.ROOT_LOC:
         pmo.nvbm.roots.set(SLOT_CURR, new_handle)
         return
     parent_loc = morton.parent_of(root_loc, pmo.dim)
+    child_idx = morton.child_index_of(root_loc, pmo.dim)
     ph = pmo._index[parent_loc]
     if is_dram(ph):
-        rec = pmo.dram.read_octant(ph)
-        rec.children[morton.child_index_of(root_loc, pmo.dim)] = new_handle
-        pmo.dram.write_octant(ph, rec)
+        pmo.dram.write_child_slot(ph, child_idx, new_handle)
+        pmo._count_partial_write()
         pmo._dirty.add(parent_loc)
         return
     ph = pmo._ensure_writable(parent_loc)
-    rec = pmo.nvbm.read_octant(ph)
-    rec.children[morton.child_index_of(root_loc, pmo.dim)] = new_handle
-    pmo.nvbm.write_octant(ph, rec)
+    pmo.nvbm.write_child_slot(ph, child_idx, new_handle)
+    pmo._count_partial_write()
 
 
 def evict_subtree(pmo: "PMOctree", root_loc: int) -> int:
@@ -171,19 +175,26 @@ def merge_all_c0(pmo: "PMOctree", keep_resident: bool = False) -> int:
 
 
 def subtree_locs(pmo: "PMOctree", root_loc: int) -> List[int]:
-    """All working-version locs at or below ``root_loc`` (via the index)."""
+    """All working-version locs at or below ``root_loc``.
+
+    O(size of the answer): a registered C0 root answers from its maintained
+    loc set, everything else by walking the tree — never a full index scan.
+    """
     if root_loc == morton.ROOT_LOC:
         return list(pmo._index)
-    level = morton.level_of(root_loc, pmo.dim)
-    return [
-        loc
-        for loc in pmo._index
-        if loc == root_loc
-        or (
-            morton.level_of(loc, pmo.dim) > level
-            and morton.ancestor_at(loc, pmo.dim, level) == root_loc
-        )
-    ]
+    stats = pmo._c0_roots.get(root_loc)
+    if stats is not None:
+        return list(stats.locs)
+    out: List[int] = []
+    stack = [root_loc]
+    while stack:
+        loc = stack.pop()
+        if loc not in pmo._index:
+            continue
+        out.append(loc)
+        if loc not in pmo._leaf_set:
+            stack.extend(morton.children_of(loc, pmo.dim))
+    return out
 
 
 def load_subtree(pmo: "PMOctree", root_loc: int) -> bool:
@@ -232,13 +243,14 @@ def load_subtree(pmo: "PMOctree", root_loc: int) -> bool:
         pmo._origin[loc] = nv
         if loc != root_loc:
             ph = copied[morton.parent_of(loc, pmo.dim)]
-            prec = pmo.dram.read_octant(ph)
-            prec.children[morton.child_index_of(loc, pmo.dim)] = dh
-            pmo.dram.write_octant(ph, prec)
+            pmo.dram.write_child_slot(
+                ph, morton.child_index_of(loc, pmo.dim), dh
+            )
+            pmo._count_partial_write()
         pmo.injector.site(sites.LOAD_OCTANT)
     for loc, dh in copied.items():
         pmo._index[loc] = dh
-    pmo._c0_roots[root_loc] = C0Stats(size=len(locs))
+    pmo._c0_roots[root_loc] = C0Stats(size=len(locs), locs=set(locs))
     # C1 -> C0 migration: the subtree became DRAM-resident
     pmo._obs_count("pm.c1_to_c0_octants", len(locs))
     splice_into_parent(pmo, root_loc, copied[root_loc])

@@ -26,8 +26,9 @@ surviving a crash.
 
 from __future__ import annotations
 
-from contextlib import nullcontext
-from dataclasses import dataclass
+import heapq
+from contextlib import contextmanager, nullcontext
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Set
 
 from repro.config import PMOctreeConfig
@@ -36,7 +37,7 @@ from repro.nvbm import sites
 from repro.nvbm.arena import MemoryArena
 from repro.nvbm.failure import FailureInjector
 from repro.nvbm.pointers import NULL_HANDLE, is_dram, is_nvbm
-from repro.nvbm.records import OctantRecord
+from repro.nvbm.records import FLAG_DELETED, FLAG_LEAF, OctantRecord
 from repro.octree import morton
 from repro.octree.store import Payload, ZERO_PAYLOAD
 
@@ -53,6 +54,9 @@ class C0Stats:
 
     size: int = 0          #: octants currently in this DRAM subtree
     accesses: int = 0      #: operations routed into it (LFU eviction key)
+    #: every loc in this subtree, kept in step with refine/coarsen/merge so
+    #: ``subtree_locs`` answers in O(size) instead of scanning the index
+    locs: Set[int] = field(default_factory=set)
 
 
 @dataclass
@@ -68,6 +72,9 @@ class PMStats:
     gc_runs: int = 0
     octants_reclaimed: int = 0
     marked_deleted: int = 0
+    partial_reads: int = 0   #: field-granular record loads
+    partial_writes: int = 0  #: field-granular record stores
+    hot_spills: int = 0      #: transformation could not fit a hot subtree
 
 
 class PMOctree:
@@ -81,6 +88,10 @@ class PMOctree:
     #: attached repro.obs.Observability; class-level default because the
     #: recovery path (attach_and_restore) constructs instances via __new__
     obs = None
+    #: bound pm.partial_* counters (attach_obs); class-level None for the
+    #: same __new__ reason, and so the hot path is one attribute test
+    _m_partial_reads = None
+    _m_partial_writes = None
 
     def __init__(self, dram: MemoryArena, nvbm: MemoryArena, dim: int = 2,
                  config: Optional[PMOctreeConfig] = None,
@@ -121,7 +132,8 @@ class PMOctree:
         h = self.dram.new_octant(root)
         self._index[morton.ROOT_LOC] = h
         self._leaf_set.add(morton.ROOT_LOC)
-        self._c0_roots[morton.ROOT_LOC] = C0Stats(size=1)
+        self._c0_roots[morton.ROOT_LOC] = C0Stats(size=1,
+                                                  locs={morton.ROOT_LOC})
         self.nvbm.roots.set(SLOT_PREV, NULL_HANDLE)
         self.nvbm.roots.set(SLOT_CURR, h)
 
@@ -131,6 +143,18 @@ class PMOctree:
         """Report ``pm.*`` counters and persist spans to an
         :class:`repro.obs.Observability` (see docs/observability.md)."""
         self.obs = obs
+        self._m_partial_reads = obs.metrics.counter("pm.partial_reads")
+        self._m_partial_writes = obs.metrics.counter("pm.partial_writes")
+
+    def _count_partial_read(self) -> None:
+        self.stats.partial_reads += 1
+        if self._m_partial_reads is not None:
+            self._m_partial_reads.inc()
+
+    def _count_partial_write(self) -> None:
+        self.stats.partial_writes += 1
+        if self._m_partial_writes is not None:
+            self._m_partial_writes.inc()
 
     def _obs_count(self, name: str, v: int = 1) -> None:
         if self.obs is not None:
@@ -173,23 +197,23 @@ class PMOctree:
     def get_payload(self, loc: int) -> Payload:
         handle = self.handle_of(loc)
         self._touch_c0(loc, handle)
-        return self._arena_of(handle).read_octant(handle).payload
+        self._count_partial_read()
+        return self._arena_of(handle).read_payload(handle)
 
     def set_payload(self, loc: int, payload: Payload) -> None:
         handle = self.handle_of(loc)
         self._touch_c0(loc, handle)
         if is_dram(handle):
-            rec = self.dram.read_octant(handle)
-            rec.payload = tuple(payload)
-            self.dram.write_octant(handle, rec)
+            self.dram.write_payload(handle, tuple(payload))
+            self._count_partial_write()
             self._dirty.add(loc)
             self.stats.inplace_updates += 1
             self._obs_count("pm.inplace_updates")
             return
         handle = self._ensure_writable(loc)
-        rec = self.nvbm.read_octant(handle)
-        rec.payload = tuple(payload)
-        self.nvbm.write_octant(handle, rec)
+        self.nvbm.write_payload(handle, tuple(payload))
+        self._count_partial_write()
+        self.injector.site(sites.PAYLOAD_PARTIAL)
 
     def get_record(self, loc: int) -> OctantRecord:
         handle = self.handle_of(loc)
@@ -245,7 +269,9 @@ class PMOctree:
         self._dirty.add(loc)
         croot = self._c0_root_of(loc)
         if croot is not None:
-            self._c0_roots[croot].size += fanout
+            stats = self._c0_roots[croot]
+            stats.size += fanout
+            stats.locs.update(child_locs)
         self.stats.inplace_updates += 1
         self._obs_count("pm.inplace_updates")
         return child_locs
@@ -300,23 +326,53 @@ class PMOctree:
             self._dirty.add(loc)
             croot = self._c0_root_of(loc)
             if croot is not None:
-                self._c0_roots[croot].size -= len(child_locs)
+                stats = self._c0_roots[croot]
+                stats.size -= len(child_locs)
+                stats.locs.difference_update(child_locs)
             self._leaf_set.add(loc)
             return
         handle = self._ensure_writable(loc)
-        rec = self.nvbm.read_octant(handle)
-        for i, cloc in enumerate(child_locs):
+        for cloc in child_locs:
             ch = self._index.pop(cloc)
             self._leaf_set.discard(cloc)
-            rec.children[i] = NULL_HANDLE
-            crec = self.nvbm.read_octant(ch)
-            if crec.epoch == self.epoch:
-                crec.set_deleted(True)
-                self.nvbm.write_octant(ch, crec)
+            if is_dram(ch):
+                # Legal under I1: the child is itself a C0 subtree root
+                # (e.g. a size-1 subtree brought in by load_subtree).  Its
+                # DRAM record can be deleted directly; tear down the C0
+                # bookkeeping with it and retire the NVBM origin the load
+                # left behind, if it is ours to retire.
+                self.dram.free(ch)
+                self._c0_roots.pop(cloc, None)
+                origin = self._origin.pop(cloc, None)
+                self._dirty.discard(cloc)
+                if (
+                    origin is not None
+                    and self.nvbm.contains(origin)
+                    and self.nvbm.read_epoch(origin) == self.epoch
+                ):
+                    # current-epoch origin: V_{i-1} cannot reach it, so it
+                    # is dead the moment its DRAM copy goes
+                    flags = self.nvbm.read_flags(origin)
+                    self.nvbm.set_flags(origin, flags | FLAG_DELETED)
+                    self._count_partial_write()
+                    self.stats.marked_deleted += 1
+                    self._obs_count("pm.marked_deleted")
+                continue
+            if self.nvbm.read_epoch(ch) == self.epoch:
+                # the child is a leaf, so its flags are exactly FLAG_LEAF;
+                # the deletion mark is a single-line absolute store
+                self.nvbm.set_flags(ch, FLAG_LEAF | FLAG_DELETED)
+                self._count_partial_write()
                 self.stats.marked_deleted += 1
                 self._obs_count("pm.marked_deleted")
-        rec.set_leaf(True)
-        self.nvbm.write_octant(handle, rec)
+        self.injector.site(sites.COARSEN_MID)
+        # the parent was a live internal octant (flags == 0): clear its
+        # child slots and set the leaf bit without rewriting the record
+        fanout = morton.fanout(self.dim)
+        self.nvbm.write_child_slots(handle, 0, [NULL_HANDLE] * fanout)
+        self.nvbm.set_flags(handle, FLAG_LEAF)
+        self._count_partial_write()
+        self._count_partial_write()
         self._leaf_set.add(loc)
 
     # --------------------------------------------------------------- COW machinery
@@ -334,7 +390,8 @@ class PMOctree:
         """In-place writable: DRAM, or an NVBM record of the current epoch."""
         if is_dram(handle):
             return True
-        return self.nvbm.read_octant(handle).epoch == self.epoch
+        self._count_partial_read()
+        return self.nvbm.read_epoch(handle) == self.epoch
 
     def _ensure_writable(self, loc: int) -> int:
         """Make the NVBM octant at ``loc`` in-place writable, copying the
@@ -342,7 +399,8 @@ class PMOctree:
         handle = self._index[loc]
         if is_dram(handle):
             raise ConsistencyError(f"{loc:#x} is in DRAM; COW is for NVBM octants")
-        if self.nvbm.read_octant(handle).epoch == self.epoch:
+        self._count_partial_read()
+        if self.nvbm.read_epoch(handle) == self.epoch:
             return handle
         path = self._path_to(loc)
         # deepest ancestor that is already writable
@@ -376,18 +434,20 @@ class PMOctree:
                     parent_loc = path[i - 1]
                     ph = self._index[parent_loc]
                     parena = self._arena_of(ph)
-                    prec = parena.read_octant(ph)
-                    prec.children[morton.child_index_of(ploc, self.dim)] = new
-                    parena.write_octant(ph, prec)
+                    parena.write_child_slot(
+                        ph, morton.child_index_of(ploc, self.dim), new
+                    )
+                    self._count_partial_write()
                     if is_dram(ph):
                         self._dirty.add(parent_loc)
             else:
                 # parent is the copy we just made in the previous iteration:
                 # fix its child slot in place (it is current-epoch).
                 ph = self._index[path[i - 1]]
-                prec = self.nvbm.read_octant(ph)
-                prec.children[morton.child_index_of(ploc, self.dim)] = new
-                self.nvbm.write_octant(ph, prec)
+                self.nvbm.write_child_slot(
+                    ph, morton.child_index_of(ploc, self.dim), new
+                )
+                self._count_partial_write()
             new_handle = new
         return new_handle
 
@@ -440,22 +500,29 @@ class PMOctree:
             int(self.config.threshold_dram * self.c0_capacity),
         )
         protected_root = self._c0_root_of(protect) if protect is not None else None
+        heap: Optional[List] = None
         while self.c0_free < threshold_free:
-            victims = sorted(
-                (
+            if heap is None:
+                # LFU priority queue, built once for the whole eviction
+                # round: k evictions cost O(n + k log n) comparisons, not a
+                # full re-sort per victim.  Roots that disappear under us
+                # (nested evictions) are skipped as stale on pop.
+                heap = [
                     (stats.accesses, root)
                     for root, stats in self._c0_roots.items()
                     if root != protected_root
-                ),
-            )
-            if not victims:
+                ]
+                heapq.heapify(heap)
+            while heap and heap[0][1] not in self._c0_roots:
+                heapq.heappop(heap)
+            if not heap:
                 if protected_root is not None:
                     evict_subtree(self, protected_root)
                     self.stats.evictions += 1
                     self._obs_count("pm.evictions")
                     return False
                 return self.c0_free >= needed
-            _, victim = victims[0]
+            _, victim = heapq.heappop(heap)
             evict_subtree(self, victim)
             self.stats.evictions += 1
             self._obs_count("pm.evictions")
@@ -517,11 +584,11 @@ class PMOctree:
         # V_{i-2}-only now and become GC food.
         for old in self._superseded:
             if self.nvbm.contains(old):
-                rec = self.nvbm.read_octant(old)
-                rec.set_deleted(True)
+                flags = self.nvbm.read_flags(old)
                 # pmlint: allow-direct-write — superseded records belong to
                 # V_{i-2} only; the freshly published root cannot reach them.
-                self.nvbm.write_octant(old, rec)
+                self.nvbm.set_flags(old, flags | FLAG_DELETED)
+                self._count_partial_write()
                 self.stats.marked_deleted += 1
                 self._obs_count("pm.marked_deleted")
         self._superseded.clear()
@@ -580,11 +647,19 @@ class PMOctree:
 
     def _load_static_chunk(self) -> None:
         """Load the first budget-sized subtree (by locational code) into C0."""
-        from repro.core.merge import load_subtree, subtree_locs
+        from repro.core.merge import load_subtree
 
+        # one deepest-first pass computes every subtree's size; the descent
+        # below then looks sizes up instead of rescanning the index per level
+        sizes: Dict[int, int] = {}
+        for loc in sorted(self._index,
+                          key=lambda l: -morton.level_of(l, self.dim)):
+            sizes[loc] = 1 + sum(
+                sizes.get(c, 0) for c in morton.children_of(loc, self.dim)
+            )
         loc = morton.ROOT_LOC
         while True:
-            if len(subtree_locs(self, loc)) <= self.c0_free:
+            if sizes.get(loc, 0) <= self.c0_free:
                 load_subtree(self, loc)
                 return
             if loc in self._leaf_set:
@@ -632,21 +707,36 @@ class PMOctree:
 
     # ------------------------------------------------------------------ inspection
 
+    @contextmanager
+    def unmetered_inspection(self):
+        """Suspend device metering on both arenas for the enclosed block.
+
+        Structural queries (:meth:`overlap_ratio`, :meth:`check_invariants`,
+        :meth:`reachable_from`) are measurement probes, not simulated work:
+        charging their traversals to the :class:`SimClock` and the device
+        counters made every metrics sample an observer-effect bug that
+        inflated the bench numbers.  Data access is unaffected — only the
+        meter pauses.
+        """
+        with self.dram.device.unmetered(), self.nvbm.device.unmetered():
+            yield
+
     def reachable_from(self, root_handle: int) -> Set[int]:
         """NVBM handles reachable from an NVBM root (DRAM pointers skipped)."""
         seen: Set[int] = set()
         if not is_nvbm(root_handle):
             return seen
-        stack = [root_handle]
-        while stack:
-            h = stack.pop()
-            if h in seen or not self.nvbm.contains(h):
-                continue
-            seen.add(h)
-            rec = self.nvbm.read_octant(h)
-            for ch in rec.live_children():
-                if is_nvbm(ch):
-                    stack.append(ch)
+        with self.unmetered_inspection():
+            stack = [root_handle]
+            while stack:
+                h = stack.pop()
+                if h in seen or not self.nvbm.contains(h):
+                    continue
+                seen.add(h)
+                rec = self.nvbm.read_octant(h)
+                for ch in rec.live_children():
+                    if is_nvbm(ch):
+                        stack.append(ch)
         return seen
 
     def overlap_ratio(self) -> float:
@@ -656,17 +746,18 @@ class PMOctree:
         NVBM origin serves V_{i-1} and will be re-linked (not rewritten) at
         the next merge, so only one persistent record exists for it.
         """
-        prev_root = self.nvbm.roots.get(SLOT_PREV)
-        if prev_root == NULL_HANDLE:
-            return 0.0
-        prev = self.reachable_from(prev_root)
-        shared = sum(
-            1 for h in self._index.values() if is_nvbm(h) and h in prev
-        )
-        for loc, origin in self._origin.items():
-            if loc not in self._dirty and origin in prev:
-                shared += 1
-        return shared / max(1, len(self._index))
+        with self.unmetered_inspection():
+            prev_root = self.nvbm.roots.get(SLOT_PREV)
+            if prev_root == NULL_HANDLE:
+                return 0.0
+            prev = self.reachable_from(prev_root)
+            shared = sum(
+                1 for h in self._index.values() if is_nvbm(h) and h in prev
+            )
+            for loc, origin in self._origin.items():
+                if loc not in self._dirty and origin in prev:
+                    shared += 1
+            return shared / max(1, len(self._index))
 
     def memory_usage_octants(self) -> int:
         """Total live records across both arenas (Fig 3's memory usage)."""
@@ -682,6 +773,10 @@ class PMOctree:
 
     def check_invariants(self) -> None:
         """Verify I1-I3 plus index/record agreement (test helper)."""
+        with self.unmetered_inspection():
+            self._check_invariants_impl()
+
+    def _check_invariants_impl(self) -> None:
         for loc, handle in self._index.items():
             arena = self._arena_of(handle)
             rec = arena.read_octant(handle)
@@ -696,6 +791,26 @@ class PMOctree:
                 )
             if rec.is_leaf != (loc in self._leaf_set):
                 raise ConsistencyError(f"leaf flag mismatch at {loc:#x}")
+        for root, stats in self._c0_roots.items():
+            actual: Set[int] = set()
+            stack = [root]
+            while stack:
+                walk = stack.pop()
+                if walk not in self._index:
+                    continue
+                actual.add(walk)
+                if walk not in self._leaf_set:
+                    stack.extend(morton.children_of(walk, self.dim))
+            if stats.locs != actual:
+                raise ConsistencyError(
+                    f"C0 loc set stale at root {root:#x}: tracked "
+                    f"{len(stats.locs)} locs, tree has {len(actual)}"
+                )
+            if stats.size != len(actual):
+                raise ConsistencyError(
+                    f"C0 size stale at root {root:#x}: tracked {stats.size}, "
+                    f"tree has {len(actual)}"
+                )
         prev_root = self.nvbm.roots.get(SLOT_PREV)
         if prev_root != NULL_HANDLE:
             for h in self.reachable_from(prev_root):

@@ -59,6 +59,8 @@ GATES: List[Dict[str, Any]] = [
     {"metric": "droplet.nvbm_reads", "tolerance": 0.15, "direction": "lower"},
     {"metric": "droplet.nvbm_bytes_written", "tolerance": 0.10,
      "direction": "lower"},
+    {"metric": "droplet.nvbm_lines_touched", "tolerance": 0.10,
+     "direction": "lower"},
     {"metric": "droplet.flushes", "tolerance": 0.10, "direction": "lower"},
     {"metric": "droplet.cow_copies", "tolerance": 0.15, "direction": "lower"},
     {"metric": "droplet.wear_max", "tolerance": 0.25, "direction": "lower"},
@@ -126,6 +128,10 @@ def bench_droplet(steps: int = 12, max_level: int = 5,
         "droplet.nvbm_reads": m.get("device.reads", device=nvbm.name).value,
         "droplet.nvbm_bytes_written":
             m.get("device.bytes_written", device=nvbm.name).value,
+        "droplet.nvbm_lines_touched":
+            m.get("device.lines_touched", device=nvbm.name).value,
+        "droplet.partial_reads": m.total("pm.partial_reads"),
+        "droplet.partial_writes": m.total("pm.partial_writes"),
         "droplet.flushes": m.get("arena.flush_calls", arena=nvbm.name).value,
         "droplet.stores": m.get("arena.stores", arena=nvbm.name).value,
         "droplet.cow_copies": m.total("pm.cow_copies"),

@@ -32,14 +32,37 @@ from repro.config import CACHE_LINE_SIZE, OCTANT_RECORD_SIZE, DeviceSpec
 from repro.errors import ConsistencyError, InvalidHandleError
 from repro.nvbm.allocator import RecordAllocator
 from repro.nvbm.clock import SimClock
-from repro.nvbm.device import MemoryDevice
+from repro.nvbm.device import MemoryDevice, lines_spanned
 from repro.nvbm.pointers import arena_of, index_of, make_handle
-from repro.nvbm.records import OctantRecord, pack_record, unpack_record
+from repro.nvbm.records import (
+    EPOCH_SPAN,
+    FLAGS_SPAN,
+    PAYLOAD_SPAN,
+    OctantRecord,
+    child_span,
+    pack_handles,
+    pack_payload,
+    pack_record,
+    unpack_epoch,
+    unpack_payload,
+    unpack_record,
+)
 
 #: Cost of the ordering instruction sequence at a flush/persist point.
 FENCE_NS = 250.0
 
 _LINES_PER_RECORD = OCTANT_RECORD_SIZE // CACHE_LINE_SIZE
+_ALL_LINES_MASK = (1 << _LINES_PER_RECORD) - 1
+
+
+def _line_mask(offset: int, nbytes: int) -> int:
+    """Bitmask of the record cache lines ``[offset, offset + nbytes)`` spans."""
+    first = offset // CACHE_LINE_SIZE
+    last = (offset + max(1, nbytes) - 1) // CACHE_LINE_SIZE
+    mask = 0
+    for line in range(first, last + 1):
+        mask |= 1 << line
+    return mask
 
 
 class RootSlots:
@@ -125,6 +148,11 @@ class MemoryArena:
             self.allocator = RecordAllocator(capacity_octants, name=self.name)
         self._backing: Dict[int, bytes] = {}
         self._cache: Dict[int, bytes] = {}
+        #: per-record bitmask of *dirty* cache lines (non-volatile arenas
+        #: only).  A full-record store dirties every line; a field store
+        #: dirties only the lines it spans — the crash model tears exactly
+        #: these, so a torn partial store is modelled faithfully.
+        self._dirty_lines: Dict[int, int] = {}
         # Root slots only make sense on a persistent arena but are harmless
         # on DRAM (they just vanish with everything else on a crash).
         self.roots = RootSlots(self.device, injector=injector)
@@ -183,6 +211,7 @@ class MemoryArena:
         self.allocator.free(idx)
         self._backing.pop(idx, None)
         self._cache.pop(idx, None)
+        self._dirty_lines.pop(idx, None)
 
     def read(self, handle: int) -> bytes:
         """Load a record, read-your-writes through the cache."""
@@ -212,6 +241,92 @@ class MemoryArena:
             self._backing[idx] = data
         else:
             self._cache[idx] = data
+            self._dirty_lines[idx] = _ALL_LINES_MASK
+
+    # -- field-granular access ------------------------------------------------
+    #
+    # The §5.4 economy ("PM-octree only needs to write new and updated
+    # octants") extends *inside* the record: a payload update, a child-slot
+    # splice or a flag flip touches one cache line, not the whole 128-byte
+    # record.  These methods pack/unpack only the requested field and charge
+    # the device for exactly the lines the field spans.
+
+    def _base_bytes(self, idx: int, handle: int) -> bytes:
+        data = self._cache.get(idx)
+        if data is None:
+            data = self._backing.get(idx)
+        if data is None:
+            raise ConsistencyError(
+                f"{self.name}: handle {handle:#x} allocated but never written "
+                "(field access needs an existing record)"
+            )
+        return data
+
+    def read_field(self, handle: int, offset: int, size: int) -> bytes:
+        """Load ``size`` bytes at ``offset`` of a record, charging only the
+        cache lines the span touches (read-your-writes through the cache)."""
+        idx = self._check(handle)
+        self.device.on_read(size, lines=lines_spanned(offset, size))
+        return self._base_bytes(idx, handle)[offset:offset + size]
+
+    def write_field(self, handle: int, offset: int, data: bytes) -> None:
+        """Store a field in place; on NVBM only the spanned lines turn dirty.
+
+        The untouched lines of the record keep whatever durability state
+        they had: a crash after a partial store can tear the *stored* lines
+        (each persists independently with probability 1/2) but never the
+        rest of the record.
+        """
+        idx = self._check(handle)
+        size = len(data)
+        if offset < 0 or offset + size > OCTANT_RECORD_SIZE:
+            raise ValueError(
+                f"field [{offset}, {offset + size}) outside the record"
+            )
+        base = self._base_bytes(idx, handle)
+        merged = base[:offset] + data + base[offset + size:]
+        self.device.on_write(size, slot=idx,
+                             lines=lines_spanned(offset, size))
+        if self.tracer is not None:
+            self.tracer.on_store(handle, cached=not self.spec.volatile)
+        if self._m_stores is not None:
+            self._m_stores.inc()
+        if self.spec.volatile:
+            self._backing[idx] = merged
+        else:
+            self._cache[idx] = merged
+            self._dirty_lines[idx] = (
+                self._dirty_lines.get(idx, 0) | _line_mask(offset, size)
+            )
+
+    # typed field convenience -------------------------------------------------
+
+    def read_payload(self, handle: int):
+        """The 4-float payload alone (one cache line, not two)."""
+        return unpack_payload(self.read_field(handle, *PAYLOAD_SPAN))
+
+    def write_payload(self, handle: int, payload) -> None:
+        self.write_field(handle, PAYLOAD_SPAN[0], pack_payload(payload))
+
+    def read_epoch(self, handle: int) -> int:
+        return unpack_epoch(self.read_field(handle, *EPOCH_SPAN))
+
+    def read_flags(self, handle: int) -> int:
+        return self.read_field(handle, *FLAGS_SPAN)[0]
+
+    def set_flags(self, handle: int, flags: int) -> None:
+        """Store the one-byte flags field (a single-line flag flip)."""
+        self.write_field(handle, FLAGS_SPAN[0], bytes((flags & 0xFF,)))
+
+    def write_child_slot(self, handle: int, index: int, child: int) -> None:
+        """Splice one child handle in place (an 8-byte, single-line store)."""
+        offset, _size = child_span(index)
+        self.write_field(handle, offset, pack_handles((child,)))
+
+    def write_child_slots(self, handle: int, index: int, children) -> None:
+        """Store contiguous child slots ``[index, index + len(children))``."""
+        offset, _size = child_span(index, len(children))
+        self.write_field(handle, offset, pack_handles(children))
 
     def contains(self, handle: int) -> bool:
         """True when the handle is a live allocation in this arena."""
@@ -252,6 +367,7 @@ class MemoryArena:
             self._m_flush_records.inc(len(self._cache))
         self._backing.update(self._cache)
         self._cache.clear()
+        self._dirty_lines.clear()
 
     def crash(self, rng: Optional[np.random.Generator] = None) -> None:
         """Apply power-loss semantics (see module docstring)."""
@@ -266,14 +382,22 @@ class MemoryArena:
         rng = rng or np.random.default_rng()
         for idx, data in self._cache.items():
             old = self._backing.get(idx, b"\x00" * OCTANT_RECORD_SIZE)
+            # only *dirty* lines are in flight; clean cached lines already
+            # equal the backing store, so a partial store can tear at most
+            # the lines it actually touched
+            mask = self._dirty_lines.get(idx, _ALL_LINES_MASK)
             pieces = []
             for line in range(_LINES_PER_RECORD):
                 lo, hi = line * CACHE_LINE_SIZE, (line + 1) * CACHE_LINE_SIZE
-                pieces.append(data[lo:hi] if rng.random() < 0.5 else old[lo:hi])
+                dirty = mask & (1 << line)
+                pieces.append(
+                    data[lo:hi] if dirty and rng.random() < 0.5 else old[lo:hi]
+                )
             merged = b"".join(pieces)
             if merged != old:
                 self._backing[idx] = merged
         self._cache.clear()
+        self._dirty_lines.clear()
 
     # -- introspection ---------------------------------------------------------
 

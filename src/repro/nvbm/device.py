@@ -8,12 +8,28 @@ once per cache line touched, which is how a CPU actually issues the traffic.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
 from repro.config import CACHE_LINE_SIZE, DeviceSpec
 from repro.nvbm.clock import Category, SimClock
+
+
+def lines_spanned(offset: int, nbytes: int) -> int:
+    """Cache lines the byte range ``[offset, offset + nbytes)`` touches.
+
+    This is what a CPU actually pays for a field access: a 1-byte flag at
+    offset 9 costs one line, a 32-byte payload at offset 16 costs one line,
+    a full 128-byte record costs two.
+    """
+    if nbytes <= 0:
+        return 1
+    first = offset // CACHE_LINE_SIZE
+    last = (offset + nbytes - 1) // CACHE_LINE_SIZE
+    return last - first + 1
 
 
 @dataclass
@@ -24,6 +40,12 @@ class DeviceStats:
     writes: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
+    lines_read: int = 0
+    lines_written: int = 0
+
+    @property
+    def lines_touched(self) -> int:
+        return self.lines_read + self.lines_written
 
     def merged_with(self, other: "DeviceStats") -> "DeviceStats":
         return DeviceStats(
@@ -31,6 +53,8 @@ class DeviceStats:
             writes=self.writes + other.writes,
             bytes_read=self.bytes_read + other.bytes_read,
             bytes_written=self.bytes_written + other.bytes_written,
+            lines_read=self.lines_read + other.lines_read,
+            lines_written=self.lines_written + other.lines_written,
         )
 
 
@@ -55,12 +79,15 @@ class MemoryDevice:
         self.track_wear = track_wear
         self._wear = np.zeros(0, dtype=np.int64)
         self._category = Category.MEM_DRAM if spec.volatile else Category.MEM_NVBM
+        #: depth of nested unmetered() sections; >0 suppresses all charging
+        self._unmetered = 0
         # bound metric handles (attach_obs); None keeps the hot path a
         # single attribute test per access
         self._m_reads = None
         self._m_writes = None
         self._m_bytes_read = None
         self._m_bytes_written = None
+        self._m_lines = None
 
     def attach_obs(self, obs, device: str = None) -> None:
         """Bind access counters from an :class:`repro.obs.Observability`."""
@@ -70,31 +97,62 @@ class MemoryDevice:
         self._m_writes = m.counter("device.writes", device=label)
         self._m_bytes_read = m.counter("device.bytes_read", device=label)
         self._m_bytes_written = m.counter("device.bytes_written", device=label)
+        self._m_lines = m.counter("device.lines_touched", device=label)
 
     def _lines(self, nbytes: int) -> int:
         return max(1, -(-nbytes // CACHE_LINE_SIZE))
 
-    def on_read(self, nbytes: int) -> None:
-        """Charge one read of ``nbytes`` (one latency per cache line)."""
+    @contextmanager
+    def unmetered(self) -> Iterator[None]:
+        """Suppress all charging (clock, stats, wear, obs) inside the block.
+
+        This is the *inspection* mode: structural queries such as
+        ``overlap_ratio()`` or ``check_invariants()`` read the same records
+        the application does, but they are measurement probes, not simulated
+        work — metering them would make every metrics sample an
+        observer-effect bug.  Nesting is allowed; writes inside an unmetered
+        block still land (the data path is unaffected, only the meter is).
+        """
+        self._unmetered += 1
+        try:
+            yield
+        finally:
+            self._unmetered -= 1
+
+    def on_read(self, nbytes: int, lines: int = 0) -> None:
+        """Charge one read of ``nbytes`` (one latency per cache line).
+
+        ``lines`` overrides the line count for field-granular accesses whose
+        spanned lines differ from ``ceil(nbytes / 64)`` (an unaligned field
+        can straddle a boundary; a sub-line field still costs a full line).
+        """
+        if self._unmetered:
+            return
+        if lines <= 0:
+            lines = self._lines(nbytes)
         self.stats.reads += 1
         self.stats.bytes_read += nbytes
-        self.clock.advance(
-            self._lines(nbytes) * self.spec.read_latency_ns, self._category
-        )
+        self.stats.lines_read += lines
+        self.clock.advance(lines * self.spec.read_latency_ns, self._category)
         if self._m_reads is not None:
             self._m_reads.inc()
             self._m_bytes_read.inc(nbytes)
+            self._m_lines.inc(lines)
 
-    def on_write(self, nbytes: int, slot: int = -1) -> None:
+    def on_write(self, nbytes: int, slot: int = -1, lines: int = 0) -> None:
         """Charge one write of ``nbytes``; bump wear for ``slot`` if tracked."""
+        if self._unmetered:
+            return
+        if lines <= 0:
+            lines = self._lines(nbytes)
         self.stats.writes += 1
         self.stats.bytes_written += nbytes
-        self.clock.advance(
-            self._lines(nbytes) * self.spec.write_latency_ns, self._category
-        )
+        self.stats.lines_written += lines
+        self.clock.advance(lines * self.spec.write_latency_ns, self._category)
         if self._m_writes is not None:
             self._m_writes.inc()
             self._m_bytes_written.inc(nbytes)
+            self._m_lines.inc(lines)
         if self.track_wear and slot >= 0:
             if slot >= self._wear.size:
                 grown = np.zeros(max(slot + 1, 2 * self._wear.size, 1024), dtype=np.int64)

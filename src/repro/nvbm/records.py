@@ -44,6 +44,50 @@ PAYLOAD_SLOTS = 4
 #: Maximum children per octant record (octree fanout).
 MAX_CHILDREN = 8
 
+# -- field spans -------------------------------------------------------------
+#
+# ``(offset, size)`` of each field inside the packed record.  The
+# field-granular access layer (:meth:`repro.nvbm.arena.MemoryArena.
+# read_field` / ``write_field``) uses these to touch — and charge the
+# device for — only the cache lines a field actually spans.
+
+LOC_SPAN = (0, 8)
+LEVEL_SPAN = (8, 1)
+FLAGS_SPAN = (9, 1)
+EPOCH_SPAN = (12, 4)
+PAYLOAD_SPAN = (16, 8 * PAYLOAD_SLOTS)
+PARENT_SPAN = (48, 8)
+CHILDREN_OFFSET = 56
+
+_PAYLOAD_STRUCT = struct.Struct("<4d")
+_HANDLE_STRUCT = struct.Struct("<Q")
+_EPOCH_STRUCT = struct.Struct("<I")
+
+
+def child_span(index: int, count: int = 1) -> Tuple[int, int]:
+    """Byte span of ``count`` contiguous child-handle slots from ``index``."""
+    if not 0 <= index < index + count <= MAX_CHILDREN:
+        raise ValueError(f"child slots [{index}, {index + count}) out of range")
+    return (CHILDREN_OFFSET + 8 * index, 8 * count)
+
+
+def pack_payload(payload) -> bytes:
+    """Serialize the 4-float payload field alone."""
+    return _PAYLOAD_STRUCT.pack(*payload)
+
+
+def unpack_payload(data: bytes) -> Tuple[float, float, float, float]:
+    return _PAYLOAD_STRUCT.unpack(data)
+
+
+def pack_handles(handles) -> bytes:
+    """Serialize contiguous 8-byte handles (child slots, parent)."""
+    return b"".join(_HANDLE_STRUCT.pack(h) for h in handles)
+
+
+def unpack_epoch(data: bytes) -> int:
+    return _EPOCH_STRUCT.unpack(data)[0]
+
 
 @dataclass
 class OctantRecord:

@@ -28,6 +28,10 @@ MERGE_SUBTREE_DONE = "merge.subtree_done"
 EVICT_BEGIN = "evict.begin"
 LOAD_OCTANT = "load.octant"
 
+# -- field-granular (partial) stores -----------------------------------------
+COARSEN_MID = "coarsen.mid"
+PAYLOAD_PARTIAL = "payload.partial_store"
+
 # -- dynamic layout transformation ------------------------------------------
 TRANSFORM_MID = "transform.mid"
 
@@ -54,6 +58,10 @@ DESCRIPTIONS: Dict[str, str] = {
     MERGE_SUBTREE_DONE: "after one C0 subtree finished merging and splicing",
     EVICT_BEGIN: "start of a DRAM-pressure eviction",
     LOAD_OCTANT: "after each octant copied into DRAM by a C0 load",
+    COARSEN_MID: "mid NVBM coarsen: children unlinked and marked, parent "
+                 "slots/flags not yet stored",
+    PAYLOAD_PARTIAL: "right after an in-place partial payload store, its "
+                     "dirty line still unflushed",
     TRANSFORM_MID: "mid layout transformation, between evictions and loads",
     PERSIST_BEGIN: "entry of the persist point, before the C0 merge",
     PERSIST_BEFORE_FLUSH: "working version merged, nothing flushed yet",

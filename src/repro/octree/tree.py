@@ -64,13 +64,10 @@ class PointerOctree:
             raise ReproError(f"octant {loc:#x} not in tree") from None
 
     def get_payload(self, loc: int) -> Payload:
-        return self.arena.read_octant(self.handle_of(loc)).payload
+        return self.arena.read_payload(self.handle_of(loc))
 
     def set_payload(self, loc: int, payload: Payload) -> None:
-        handle = self.handle_of(loc)
-        rec = self.arena.read_octant(handle)
-        rec.payload = tuple(payload)
-        self.arena.write_octant(handle, rec)
+        self.arena.write_payload(self.handle_of(loc), tuple(payload))
 
     def get_record(self, loc: int) -> OctantRecord:
         """Full record view (tests and GC use this; solvers use payloads)."""

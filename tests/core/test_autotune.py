@@ -120,3 +120,64 @@ def test_tuner_beats_fixed_small_budget():
     fixed_writes, fixed_time = run(tune=False)
     assert tuned_writes < fixed_writes
     assert tuned_time < fixed_time
+
+
+def _baselined(budget=64, **tuner_kwargs):
+    """A persisted rig plus a tuner that has already taken one observation
+    (so the next deltas are exactly what the test injects)."""
+    rig = _persisted_rig(budget=budget)
+    tuner_kwargs.setdefault("min_budget", budget)
+    tuner = C0AutoTuner(**tuner_kwargs)
+    tuner.observe(rig.tree)
+    return rig, tuner
+
+
+def test_eviction_churn_without_write_pressure_holds():
+    """The fixed gate: eviction deltas alone no longer justify growth —
+    the churn must have cost real NVBM writes (the bug left
+    ``nvbm_writes_delta`` computed but unused)."""
+    rig, tuner = _baselined()
+    t = rig.tree
+    before = t.config.dram_capacity_octants
+    t.stats.evictions += 1  # churn, but zero NVBM writes since baseline
+    d = tuner.observe(t)
+    assert d.action == "hold"
+    assert d.evictions_delta == 1 and d.nvbm_writes_delta == 0
+    assert t.config.dram_capacity_octants == before
+
+
+def test_grows_on_eviction_with_write_pressure():
+    rig, tuner = _baselined()
+    t = rig.tree
+    before = t.config.dram_capacity_octants
+    t.stats.evictions += 1
+    t.nvbm.device.stats.writes += tuner.write_pressure  # the churn's cost
+    d = tuner.observe(t)
+    assert d.action == "grow"
+    assert d.nvbm_writes_delta == tuner.write_pressure
+    assert t.config.dram_capacity_octants > before
+
+
+def test_grows_on_hot_spill_alone():
+    """A transformation that could not fit a hot subtree is a budget
+    bottleneck even when no eviction merge fired."""
+    rig, tuner = _baselined()
+    t = rig.tree
+    before = t.config.dram_capacity_octants
+    t.stats.hot_spills += 1
+    d = tuner.observe(t)
+    assert d.action == "grow"
+    assert d.hot_spills_delta == 1 and d.evictions_delta == 0
+    assert t.config.dram_capacity_octants > before
+
+
+def test_transform_reports_hot_spills():
+    """End to end: a hot working set larger than the budget makes
+    ``detect_and_transform`` record a spill, which the tuner acts on."""
+    from repro.core.transform import detect_and_transform
+
+    rig = _persisted_rig(budget=16)
+    t = rig.tree
+    t.register_feature(lambda loc, p: True)  # everything is hot
+    detect_and_transform(t)
+    assert t.stats.hot_spills > 0

@@ -1,6 +1,6 @@
 """The regression-gated bench pipeline and its committed baseline.
 
-Covers the acceptance criteria directly: the committed ``BENCH_pr3.json``
+Covers the acceptance criteria directly: the committed ``BENCH_pr4.json``
 validates against the schema, a fresh run self-compares clean, and a
 synthetically injected 2x NVBM-write regression fails the gate with a
 typed report — through both the library API and the CLI.
@@ -16,20 +16,20 @@ from repro.harness.bench import GATES, compare_envelopes, run_bench
 from repro.harness.report import BENCH_SCHEMA, bench_envelope, validate_envelope
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
-BASELINE_PATH = REPO_ROOT / "BENCH_pr3.json"
+BASELINE_PATH = REPO_ROOT / "BENCH_pr4.json"
 
 
 @pytest.fixture(scope="module")
 def envelope():
-    return run_bench(pr=3)
+    return run_bench(pr=4)
 
 
 def test_committed_baseline_is_valid(envelope):
-    assert BASELINE_PATH.is_file(), "BENCH_pr3.json must be committed"
+    assert BASELINE_PATH.is_file(), "BENCH_pr4.json must be committed"
     baseline = json.loads(BASELINE_PATH.read_text())
     assert validate_envelope(baseline) == []
     assert baseline["schema"] == BENCH_SCHEMA
-    assert baseline["pr"] == 3
+    assert baseline["pr"] == 4
     # the committed file matches what the current code produces
     assert baseline["metrics"] == envelope["metrics"]
     assert baseline["gates"] == envelope["gates"]
@@ -139,6 +139,6 @@ def test_cli_rejects_invalid_envelope(tmp_path, capsys):
 
 
 def test_bench_is_deterministic(envelope):
-    again = run_bench(pr=3)
+    again = run_bench(pr=4)
     assert json.dumps(envelope, sort_keys=True) \
         == json.dumps(again, sort_keys=True)
