@@ -399,8 +399,118 @@ def _protocol_driver(site: str, max_steps: int, seed: int) -> SweepOutcome:
                         violations=len(rig.tracker.violations))
 
 
+def _migration_driver(site: str, max_steps: int, seed: int) -> SweepOutcome:
+    """migrate.*: tear the publish-before-retire octant migration.
+
+    A skewed 4-rank forest is repartitioned by work weight with the site
+    armed; after the simulated power loss, :func:`recover_migration` must
+    leave every octant in exactly one rank's store with its payload intact
+    (rolling partial publishes back, re-driving missing retires), and a
+    re-run of the repartition from the recovered pieces must complete and
+    balance.
+    """
+    from repro.config import TITAN
+    from repro.octree.linear import LinearOctree
+    from repro.parallel.network import Network
+    from repro.parallel.partition import (
+        MigrationState,
+        recover_migration,
+        repartition,
+    )
+    from repro.parallel.simmpi import RankContext, SimCommunicator
+
+    dim, max_level, nranks = 2, 2, 4
+    rng = np.random.default_rng(seed)
+    locs = sorted(
+        (morton.loc_from_coords(max_level, (x, y), dim)
+         for x in range(4) for y in range(4)),
+        key=lambda loc: morton.zorder_key(loc, dim, max_level),
+    )
+    payloads = rng.random((len(locs), 4))
+    truth = {loc: tuple(payloads[i]) for i, loc in enumerate(locs)}
+    weight_of = {loc: float(1.0 + rng.integers(0, 5)) for loc in locs}
+    # skewed ownership: rank 0 holds most of the curve, so the weighted cut
+    # must ship multi-octant batches across every boundary
+    bounds = [0, 10, 12, 14, 16]
+    pieces = [
+        LinearOctree(dim, locs[bounds[r]:bounds[r + 1]],
+                     payloads[bounds[r]:bounds[r + 1]], max_level=max_level)
+        for r in range(nranks)
+    ]
+    wlists = [
+        np.array([weight_of[int(loc)] for loc in piece.locs])
+        for piece in pieces
+    ]
+    ranks = [RankContext(rank=r, node=r) for r in range(nranks)]
+    comm = SimCommunicator(ranks, Network(TITAN.network))
+    injector = FailureInjector()
+    injector.arm(site, at_hit=1)
+    state = MigrationState()
+    fired = False
+    try:
+        repartition(comm, pieces, weights=wlists, injector=injector,
+                    state=state)
+    except SimulatedCrash:
+        fired = True
+    if not fired:
+        return SweepOutcome(site=site, fired=False, recovered=None,
+                            detail="migration completed without visiting "
+                                   "the site")
+
+    # power loss mid-migration: the journal survives; recover from it
+    injector.disarm()
+    rec = recover_migration(state)
+    seen: Dict[int, tuple] = {}
+    for store in state.stores:
+        for loc, row in store.items():
+            if loc in seen:
+                return SweepOutcome(
+                    site=site, fired=True, recovered=False,
+                    detail=f"octant {loc:#x} duplicated across ranks")
+            seen[loc] = tuple(float(v) for v in row)
+    if set(seen) != set(truth):
+        return SweepOutcome(
+            site=site, fired=True, recovered=False,
+            detail=f"octants lost: {len(truth) - len(seen)} missing")
+    torn = [loc for loc in truth if seen[loc] != truth[loc]]
+    if torn:
+        return SweepOutcome(site=site, fired=True, recovered=False,
+                            detail=f"payload torn on {len(torn)} octants")
+    if state.log.in_flight:
+        return SweepOutcome(
+            site=site, fired=True, recovered=False,
+            detail=f"{len(state.log.in_flight)} batches left in flight")
+
+    # the repartition is simply re-driven from the recovered pieces
+    pieces2 = state.rebuild_pieces()
+    wlists2 = [
+        np.array([weight_of[int(loc)] for loc in piece.locs])
+        for piece in pieces2
+    ]
+    try:
+        res = repartition(comm, pieces2, weights=wlists2)
+    except ReproError as exc:
+        return SweepOutcome(site=site, fired=True, recovered=False,
+                            detail=f"re-driven repartition failed: {exc}")
+    if not res.balanced:
+        return SweepOutcome(
+            site=site, fired=True, recovered=False,
+            detail=f"re-driven cut unbalanced: {res.imbalance_after:.3f}")
+    if rec.redriven and rec.rolled_back:
+        matched = "re-driven+rolled-back"
+    elif rec.redriven:
+        matched = "re-driven"
+    else:
+        matched = "rolled-back"
+    return SweepOutcome(site=site, fired=True, recovered=True,
+                        matched=matched)
+
+
 _DRIVERS: Dict[str, Callable[[str, int, int], SweepOutcome]] = {
     site_registry.ROOTS_SWAP_MID: _swap_driver,
+    site_registry.MIGRATE_PRE_PUBLISH: _migration_driver,
+    site_registry.MIGRATE_MID_BATCH: _migration_driver,
+    site_registry.MIGRATE_PRE_RETIRE: _migration_driver,
     site_registry.REPLICA_BEFORE_PUBLISH: _replica_driver,
     site_registry.REPLICA_SHIP_BEFORE_SEND: _protocol_driver,
     site_registry.REPLICA_SHIP_AFTER_APPLY: _protocol_driver,

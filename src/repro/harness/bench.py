@@ -74,9 +74,13 @@ GATES: List[Dict[str, Any]] = [
      "direction": "lower"},
     {"metric": "replication.retries", "tolerance": 0.25, "direction": "lower"},
     {"metric": "replication.wait_ns", "tolerance": 0.25, "direction": "lower"},
+    {"metric": "partition.fraction_of_makespan", "tolerance": 0.15,
+     "direction": "lower"},
+    {"metric": "partition.bytes_moved_per_step", "tolerance": 0.10,
+     "direction": "lower"},
 ]
 
-SUITE = "droplet+recovery+replication"
+SUITE = "droplet+recovery+replication+partition"
 
 
 def _rig(seed: int = 2017, dram_budget: Optional[int] = None):
@@ -218,12 +222,51 @@ def bench_replication(steps: int = 6, max_level: int = 4,
     }
 
 
+def bench_partition(steps: int = 8, nranks: int = 8,
+                    max_level: int = 5) -> Dict[str, float]:
+    """Threshold-gated incremental repartitioning vs eager-every-step.
+
+    Two :func:`~repro.parallel.runtime.run_parallel` droplet runs of the
+    same work-weighted workload: the default scheme (imbalance threshold,
+    minimal-movement incremental migration) and the same weights cut to
+    the ideal Salmon positions eagerly every step
+    (``partition_threshold=None``).  The gated quantities are the gated
+    run's partition fraction of makespan and its migrated bytes per step;
+    the eager run's bytes/step is reported alongside so the envelope
+    records the incremental scheme's traffic saving.
+    """
+    from repro.parallel.runtime import Backend, RunConfig, run_parallel
+
+    base = dict(
+        backend=Backend.PM_OCTREE, nranks=nranks, target_elements=2e5,
+        steps=steps,
+        solver=SolverConfig(dim=2, min_level=2, max_level=max_level,
+                            dt=0.01),
+    )
+    weighted = run_parallel(RunConfig(**base))
+    eager = run_parallel(RunConfig(**base, partition_threshold=None))
+    part_s = weighted.phase_seconds.get("partition", 0.0)
+    makespan = weighted.makespan_s
+    return {
+        "partition.fraction_of_makespan":
+            part_s / makespan if makespan else 0.0,
+        "partition.bytes_moved_per_step":
+            weighted.partition_bytes_moved / steps,
+        "partition.eager_bytes_per_step":
+            eager.partition_bytes_moved / steps,
+        "partition.skipped_rounds": float(weighted.partitions_skipped),
+        "partition.octants_migrated": weighted.octants_migrated,
+        "partition.makespan_ns": weighted.makespan_s * 1e9,
+    }
+
+
 def run_bench(pr: int = 0) -> Dict[str, Any]:
     """Run the pinned suite and return the versioned envelope."""
     metrics: Dict[str, float] = {}
     metrics.update(bench_droplet())
     metrics.update(bench_recovery())
     metrics.update(bench_replication())
+    metrics.update(bench_partition())
     return bench_envelope(pr=pr, suite=SUITE, metrics=metrics, gates=GATES)
 
 

@@ -47,6 +47,7 @@ _EVENT_KINDS: Tuple[Tuple[str, int], ...] = (
     ("kill_both", 1),
     ("partition", 3),
     ("loss_burst", 3),
+    ("kill_migration", 2),
 )
 
 
@@ -55,7 +56,9 @@ class ChaosEvent:
     """One scheduled fault.
 
     ``returns`` only applies to ``kill_host`` (the node reboots and its NVBM
-    survives); ``duration`` (steps) and ``drop`` only to windowed kinds.
+    survives); ``duration`` (steps) and ``drop`` only to windowed kinds;
+    ``site`` only to ``kill_migration`` (which ``migrate.*`` crash site
+    tears the octant-migration protocol).
     """
 
     kind: str
@@ -63,6 +66,7 @@ class ChaosEvent:
     returns: bool = False
     duration: int = 1
     drop: float = 0.0
+    site: str = ""
 
     def describe(self) -> str:
         extra = ""
@@ -72,6 +76,8 @@ class ChaosEvent:
             extra = f"x{self.duration}"
             if self.kind == "loss_burst":
                 extra += f"@{self.drop:.2f}"
+        elif self.kind == "kill_migration":
+            extra = f"[{self.site}]"
         return f"{self.kind}{extra}@{self.step}"
 
 
@@ -116,6 +122,10 @@ def derive_schedule(seed: int, trial: int, steps: int = 10) -> ChaosSchedule:
             ev.duration = rng.randint(1, 2)
             if kind == "loss_burst":
                 ev.drop = round(rng.uniform(0.50, 0.85), 3)
+        elif kind == "kill_migration":
+            from repro.nvbm import sites as site_registry
+
+            ev.site = rng.choice(site_registry.MIGRATE_SITES)
         events.append(ev)
     events.sort(key=lambda e: (e.step, e.kind))
     return ChaosSchedule(seed=seed, trial=trial, steps=steps,
@@ -197,6 +207,94 @@ class _TrialState:
     def note_acked_if_protected(self) -> None:
         if self.session is not None and self.session.protected:
             self.last_acked_idx = len(self.history) - 1
+
+
+def _exercise_migration_kill(cluster, tree, site: str, result) -> None:
+    """Tear the octant-migration protocol at ``site`` and verify recovery.
+
+    The host tree's leaves are dealt out skewed across the live ranks (one
+    rank owning most of the curve, so the weighted cut must ship real
+    batches), the repartition runs with the crash site armed — over the
+    trial's own lossy interconnect — and after the simulated power loss
+    :func:`repro.parallel.partition.recover_migration` must leave every
+    octant in exactly one rank's store with its payload intact and an empty
+    in-flight journal; the repartition is then re-driven to completion.
+    Any breach is a trial violation.
+    """
+    from repro.errors import PartitionError, SimulatedCrash
+    from repro.nvbm.failure import FailureInjector
+    from repro.octree.linear import LinearOctree
+    from repro.parallel.partition import (
+        MigrationState,
+        recover_migration,
+        repartition,
+    )
+    from repro.parallel.simmpi import SimCommunicator
+    from repro.solver.features import partition_work_weights
+
+    live = [c for c in cluster.ranks if c.alive]
+    lin = LinearOctree.from_tree(tree)
+    nl = len(live)
+    n = len(lin)
+    if nl < 2 or n < 2 * nl:
+        return  # nothing to migrate between
+    # skew: the first live rank owns all but a sliver of the curve
+    bounds = [0] + [n - (nl - 1) + i for i in range(nl)]
+    pieces = [lin.slice(bounds[r], bounds[r + 1]) for r in range(nl)]
+    w_all = partition_work_weights(lin)
+    wlists = [w_all[bounds[r]:bounds[r + 1]] for r in range(nl)]
+    truth = {int(loc): tuple(lin.payloads[i])
+             for i, loc in enumerate(lin.locs)}
+    comm = SimCommunicator(live, cluster.network)
+    injector = FailureInjector()
+    injector.arm(site, at_hit=1)
+    state = MigrationState()
+    try:
+        repartition(comm, pieces, weights=wlists, injector=injector,
+                    state=state)
+    except SimulatedCrash:
+        pass
+    except ReproError:
+        return  # partition window / dead link: migration legitimately refused
+    else:
+        result.violations.append(
+            f"migration crash site {site} never fired")
+        return
+    injector.disarm()
+    recover_migration(state)
+    seen: Dict[int, tuple] = {}
+    for store in state.stores:
+        for loc, row in store.items():
+            if loc in seen:
+                result.violations.append(
+                    f"{site}: octant {loc:#x} duplicated across ranks")
+                return
+            seen[int(loc)] = tuple(float(v) for v in row)
+    if set(seen) != set(truth):
+        result.violations.append(
+            f"{site}: {len(truth) - len(seen)} octants lost in migration")
+    elif any(seen[loc] != truth[loc] for loc in truth):
+        result.violations.append(f"{site}: migrated payloads torn")
+    elif state.log.in_flight:
+        result.violations.append(
+            f"{site}: {len(state.log.in_flight)} batches left in flight "
+            f"after recovery")
+    else:
+        wmap = state.weight_of
+        pieces2 = state.rebuild_pieces()
+        wlists2 = [
+            [wmap[int(loc)] for loc in piece.locs] for piece in pieces2
+        ]
+        try:
+            repartition(comm, pieces2, weights=wlists2)
+        except PartitionError as exc:
+            if "undeliverable" not in str(exc):
+                result.violations.append(
+                    f"{site}: re-driven repartition failed: {exc}")
+            # an unhealed partition window starving the retries is an
+            # interconnect fault, not a recovery bug
+        except ReproError:
+            pass  # interconnect faults again; recovery itself held
 
 
 def _detect_failure(cluster, dead_rank: int) -> bool:
@@ -341,6 +439,8 @@ def run_trial(schedule: ChaosSchedule, break_acks: bool = False,
                       if c.alive and c.rank != st.host_rank]
             w = plan.start_partition([[st.host_rank], others], now())
             open_windows.append((step + ev.duration, w))
+        elif ev.kind == "kill_migration":
+            _exercise_migration_kill(cluster, st.tree, ev.site, result)
         elif ev.kind == "loss_burst":
             burst = LinkFaults(drop=ev.drop)
             targets = [c.rank for c in cluster.ranks

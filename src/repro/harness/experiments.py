@@ -197,6 +197,12 @@ def exp_fig5(max_level: int = 5) -> Fig5Result:
 
 WEAK_POINTS = (1, 6, 64, 250, 1000)
 
+#: The paper's runs used eager equal-count repartitioning every step —
+#: that is the scheme behind Fig 7's partition-share curve (56 % at 1000
+#: ranks), so the figure reproductions pin it rather than inherit the
+#: runtime's default work-weighted threshold-gated scheme.
+PAPER_PARTITION = dict(partition_threshold=None, partition_weighted=False)
+
 
 def exp_weak_scaling(backends=tuple(Backend), points=WEAK_POINTS,
                      steps: int = 20,
@@ -211,6 +217,7 @@ def exp_weak_scaling(backends=tuple(Backend), points=WEAK_POINTS,
                 backend=backend, nranks=nranks,
                 target_elements=elements_per_rank * nranks,
                 steps=steps, solver=SCALING_SOLVER,
+                **PAPER_PARTITION,
             )))
         out[backend] = runs
     return out
@@ -249,6 +256,7 @@ def exp_strong_scaling(backends=(Backend.PM_OCTREE,), points=STRONG_POINTS,
                 target_elements=total_elements,
                 steps=steps, solver=SCALING_SOLVER,
                 dram_fraction=min(1.0, 0.5 * nranks / base_p),
+                **PAPER_PARTITION,
             ))
             for nranks in points
         ]

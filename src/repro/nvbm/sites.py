@@ -44,6 +44,15 @@ PERSIST_AFTER_ROOT_SWAP = "persist.after_root_swap"
 # -- root-slot machinery -----------------------------------------------------
 ROOTS_SWAP_MID = "roots.swap.mid"
 
+# -- octant migration (repartitioning) ---------------------------------------
+MIGRATE_PRE_PUBLISH = "migrate.pre_publish"
+MIGRATE_MID_BATCH = "migrate.mid_batch"
+MIGRATE_PRE_RETIRE = "migrate.pre_retire"
+
+#: The migration protocol's sites in protocol order (sweep/chaos iterate
+#: these; recovery must re-drive or roll back cleanly at each).
+MIGRATE_SITES = (MIGRATE_PRE_PUBLISH, MIGRATE_MID_BATCH, MIGRATE_PRE_RETIRE)
+
 # -- replication --------------------------------------------------------------
 REPLICA_BEFORE_PUBLISH = "replica.before_publish"
 REPLICA_SHIP_BEFORE_SEND = "replica.ship.before_send"
@@ -68,6 +77,12 @@ DESCRIPTIONS: Dict[str, str] = {
     PERSIST_BEFORE_ROOT_SWAP: "flushed, an instant before the atomic publish",
     PERSIST_AFTER_ROOT_SWAP: "an instant after the atomic publish",
     ROOTS_SWAP_MID: "between the two device stores of a root-slot swap",
+    MIGRATE_PRE_PUBLISH: "migration batch journalled at the sender, nothing "
+                         "published at the receiver yet",
+    MIGRATE_MID_BATCH: "mid migration batch: some octants published at the "
+                       "receiver, none retired at the sender",
+    MIGRATE_PRE_RETIRE: "migration batch fully published at the receiver, "
+                        "sender octants not yet retired",
     REPLICA_BEFORE_PUBLISH: "replica materialised and flushed, root not set",
     REPLICA_SHIP_BEFORE_SEND: "delta computed and sequenced, nothing sent",
     REPLICA_SHIP_AFTER_APPLY: "peer applied the delta, ack not yet delivered",

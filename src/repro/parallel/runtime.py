@@ -45,6 +45,7 @@ from repro.octree.linear import LinearOctree
 from repro.parallel.network import Network
 from repro.parallel.partition import repartition
 from repro.parallel.simmpi import RankContext, SimCommunicator
+from repro.solver.features import partition_work_weights
 from repro.solver.simulation import DropletSimulation
 from repro.storage.block import BlockDevice
 from repro.storage.filesystem import SimFileSystem
@@ -90,6 +91,13 @@ class RunConfig:
     transform: bool = True
     checkpoint_interval: int = 10
     partition_every: int = 1
+    #: Skip repartitioning while the weighted imbalance (max/mean rank
+    #: load) stays at or under this; ``None`` re-balances eagerly every
+    #: ``partition_every`` steps regardless of imbalance.
+    partition_threshold: Optional[float] = 1.2
+    #: Cut the curve by per-octant work weights (solver feature intensity +
+    #: churn) instead of raw leaf counts.
+    partition_weighted: bool = True
     #: which AMR application drives the run: "droplet" (the paper's §5.1
     #: workload) or "wave" (the §6-style second workload).
     workload: str = "droplet"
@@ -110,6 +118,10 @@ class RunResult:
     merges: int
     evictions: int  #: DRAM-pressure merges of C0 subtrees (the Fig 10 count)
     persists: int
+    #: repartition rounds skipped by the imbalance threshold
+    partitions_skipped: int = 0
+    #: scaled wire bytes actually migrated, summed over steps
+    partition_bytes_moved: float = 0.0
     step_reports: list = field(default_factory=list)
 
     @property
@@ -177,6 +189,22 @@ def _equal_cuts(lin: LinearOctree, nranks: int) -> np.ndarray:
         idx = round(r * n / nranks)
         cuts[r] = float(lin.keys[min(idx, n - 1)]) if n else 0.0
     cuts[-1] = np.inf
+    return cuts
+
+
+def _cuts_from_pieces(pieces, nranks: int) -> np.ndarray:
+    """Z-key boundaries induced by the pieces a repartition produced.
+
+    ``cuts[r]`` is rank r's first key; a rank that owns zero leaves after a
+    weighted cut inherits the next non-empty rank's boundary (an empty
+    range), keeping the array monotone for searchsorted ownership tests.
+    """
+    cuts = np.empty(nranks + 1, dtype=np.float64)
+    cuts[0] = 0.0
+    cuts[-1] = np.inf
+    for r in range(nranks - 1, 0, -1):
+        piece = pieces[r]
+        cuts[r] = float(piece.keys[0]) if len(piece) else cuts[r + 1]
     return cuts
 
 
@@ -254,6 +282,8 @@ def run_parallel(cfg: RunConfig, obs=None) -> RunResult:
             ctx.clock.advance(construct_each)
 
     migrated_total = 0.0
+    skipped_total = 0
+    bytes_moved_total = 0.0
     prev_snapshot = probe.snapshot()
     surface_over_volume = (
         scale ** ((cfg.solver.dim - 1) / cfg.solver.dim) / scale
@@ -354,28 +384,44 @@ def run_parallel(cfg: RunConfig, obs=None) -> RunResult:
                 lin.slice(int(idx_bounds[r]), int(idx_bounds[r + 1]))
                 for r in range(cfg.nranks)
             ]
+            if cfg.partition_weighted:
+                w_all = partition_work_weights(lin)
+                wlists = [
+                    w_all[int(idx_bounds[r]):int(idx_bounds[r + 1])]
+                    for r in range(cfg.nranks)
+                ]
+            else:
+                wlists = None
             with ExitStack() as stack:
                 for ctx in ranks:
                     stack.enter_context(ctx.clock.phase("partition"))
-                res = repartition(comm, pieces)
-            # Migration windows shift with the whole SFC ordering, so the
-            # moved volume scales with the octant count (Gerris' cost-based
-            # partitioner likewise moves volume-proportional chunks); charge
-            # each rank its share of the scaled wire bytes plus per-octant
-            # partitioner handling.
-            moved_scaled = res.octants_moved * scale
-            per_rank_bytes = int(
-                moved_scaled * OCTANT_RECORD_SIZE / cfg.nranks
-            )
-            extra_ns = (
-                cfg.cluster.network.transfer_ns(per_rank_bytes)
-                + moved_scaled * PARTITION_NS_PER_OCTANT / cfg.nranks
-            )
-            for ctx in ranks:
-                with ctx.clock.phase("partition"):
-                    ctx.clock.advance(extra_ns, Category.COMM)
-            migrated_total += moved_scaled
-            cuts = _equal_cuts(lin, cfg.nranks)
+                res = repartition(comm, pieces, weights=wlists,
+                                  threshold=cfg.partition_threshold,
+                                  obs=obs)
+            if res.skipped:
+                # the estimator's allgather was charged by the communicator;
+                # no octant moved and the old cuts stay in force
+                skipped_total += 1
+            else:
+                # Migration windows shift with the whole SFC ordering, so
+                # the moved volume scales with the octant count (Gerris'
+                # cost-based partitioner likewise moves volume-proportional
+                # chunks); charge each rank its share of the scaled wire
+                # bytes plus per-octant partitioner handling.
+                moved_scaled = res.octants_moved * scale
+                per_rank_bytes = int(
+                    moved_scaled * OCTANT_RECORD_SIZE / cfg.nranks
+                )
+                extra_ns = (
+                    cfg.cluster.network.transfer_ns(per_rank_bytes)
+                    + moved_scaled * PARTITION_NS_PER_OCTANT / cfg.nranks
+                )
+                for ctx in ranks:
+                    with ctx.clock.phase("partition"):
+                        ctx.clock.advance(extra_ns, Category.COMM)
+                migrated_total += moved_scaled
+                bytes_moved_total += res.bytes_moved * scale
+                cuts = _cuts_from_pieces(res.pieces, cfg.nranks)
         comm.barrier()
 
     makespan = comm.makespan_ns()
@@ -401,6 +447,8 @@ def run_parallel(cfg: RunConfig, obs=None) -> RunResult:
         merges=stats.merges if stats else 0,
         evictions=stats.evictions if stats else 0,
         persists=stats.persists if stats else 0,
+        partitions_skipped=skipped_total,
+        partition_bytes_moved=bytes_moved_total,
         step_reports=sim.history,
     )
 

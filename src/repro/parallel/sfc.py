@@ -14,7 +14,9 @@ edge-cut metric the SFC ablation benchmark compares the curves on.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Dict, Sequence
+from typing import Dict, List, Sequence
+
+import numpy as np
 
 from repro.octree import morton
 from repro.octree.store import AdaptiveTree
@@ -102,6 +104,50 @@ def partition_by_key(leaves: Sequence[int], dim: int, max_level: int,
     assignment: Dict[int, int] = {}
     for i, loc in enumerate(ordered):
         assignment[loc] = min(nranks - 1, i * nranks // max(1, n))
+    return assignment
+
+
+def weighted_cut_indices(weights: Sequence[float], parts: int) -> List[int]:
+    """Salmon-style weighted prefix cuts of a curve-ordered weight array.
+
+    ``weights[i]`` is the work of the i-th octant along the curve.  Returns
+    ``parts + 1`` index bounds: part ``r`` owns ``[bounds[r], bounds[r+1])``.
+    Octant ``i`` (whose weight occupies the prefix interval
+    ``[start_i, start_i + w_i)``) lands in the part whose ideal range
+    ``[r*W/P, (r+1)*W/P)`` contains ``start_i``, which guarantees the
+    classic bound: every part's load is at most ``W/P + max(weights)``.
+
+    All-zero (or empty) weight arrays degrade to equal-count cuts so the
+    caller never divides by zero.
+    """
+    if parts <= 0:
+        raise ValueError("parts must be positive")
+    w = np.asarray(list(weights), dtype=np.float64)
+    if np.any(w < 0):
+        raise ValueError("octant weights must be non-negative")
+    n = len(w)
+    total = float(w.sum())
+    if n == 0 or total <= 0.0:
+        return [round(r * n / parts) for r in range(parts + 1)]
+    starts = np.concatenate(([0.0], np.cumsum(w)[:-1]))
+    targets = np.array([r * total / parts for r in range(1, parts)])
+    inner = np.searchsorted(starts, targets, side="left")
+    return [0] + [int(i) for i in inner] + [n]
+
+
+def weighted_partition_by_key(leaves: Sequence[int], dim: int,
+                              max_level: int, nranks: int, key_fn,
+                              weight_fn) -> Dict[int, int]:
+    """Weighted variant of :func:`partition_by_key`: cut the key-sorted
+    order so each rank's summed ``weight_fn(leaf)`` is near-equal.  Returns
+    {leaf: rank}; ranks remain contiguous ranges of the curve."""
+    ordered = sorted(leaves, key=lambda leaf: key_fn(leaf, dim, max_level))
+    bounds = weighted_cut_indices([weight_fn(leaf) for leaf in ordered],
+                                  nranks)
+    assignment: Dict[int, int] = {}
+    for r in range(nranks):
+        for i in range(bounds[r], bounds[r + 1]):
+            assignment[ordered[i]] = r
     return assignment
 
 

@@ -25,7 +25,9 @@ def test_site_fires_and_recovers(outcomes, site):
     assert out.fired, f"{site}: workload never reached the site"
     assert out.recovered, f"{site}: {out.detail}"
     assert out.violations == 0
-    assert out.matched in ("last-persist", "committed-at-crash")
+    assert out.matched in ("last-persist", "committed-at-crash",
+                           "re-driven", "rolled-back",
+                           "re-driven+rolled-back")
     assert out.ok
 
 

@@ -1,7 +1,9 @@
 """The regression-gated bench pipeline and its committed baseline.
 
-Covers the acceptance criteria directly: the committed ``BENCH_pr4.json``
-validates against the schema, a fresh run self-compares clean, and a
+Covers the acceptance criteria directly: the committed ``BENCH_pr5.json``
+validates against the schema, a fresh run self-compares clean, the pr4
+baseline's gates all pass against it, the threshold-gated incremental
+repartition moves >= 25 % fewer bytes per step than the eager run, and a
 synthetically injected 2x NVBM-write regression fails the gate with a
 typed report — through both the library API and the CLI.
 """
@@ -16,23 +18,41 @@ from repro.harness.bench import GATES, compare_envelopes, run_bench
 from repro.harness.report import BENCH_SCHEMA, bench_envelope, validate_envelope
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
-BASELINE_PATH = REPO_ROOT / "BENCH_pr4.json"
+BASELINE_PATH = REPO_ROOT / "BENCH_pr5.json"
+PREVIOUS_PATH = REPO_ROOT / "BENCH_pr4.json"
 
 
 @pytest.fixture(scope="module")
 def envelope():
-    return run_bench(pr=4)
+    return run_bench(pr=5)
 
 
 def test_committed_baseline_is_valid(envelope):
-    assert BASELINE_PATH.is_file(), "BENCH_pr4.json must be committed"
+    assert BASELINE_PATH.is_file(), "BENCH_pr5.json must be committed"
     baseline = json.loads(BASELINE_PATH.read_text())
     assert validate_envelope(baseline) == []
     assert baseline["schema"] == BENCH_SCHEMA
-    assert baseline["pr"] == 4
+    assert baseline["pr"] == 5
     # the committed file matches what the current code produces
     assert baseline["metrics"] == envelope["metrics"]
     assert baseline["gates"] == envelope["gates"]
+
+
+def test_pr4_gates_still_pass_against_pr5():
+    pr4 = json.loads(PREVIOUS_PATH.read_text())
+    pr5 = json.loads(BASELINE_PATH.read_text())
+    report = compare_envelopes(pr4, pr5)
+    assert report.ok, [r.describe() for r in report.regressions]
+    # droplet makespan no worse than the pr4 baseline (outside tolerance)
+    assert pr5["metrics"]["droplet.makespan_ns"] \
+        <= pr4["metrics"]["droplet.makespan_ns"] * 1.10
+
+
+def test_incremental_partition_saves_bytes():
+    m = json.loads(BASELINE_PATH.read_text())["metrics"]
+    assert m["partition.skipped_rounds"] >= 1
+    assert m["partition.bytes_moved_per_step"] \
+        <= 0.75 * m["partition.eager_bytes_per_step"]
 
 
 def test_run_bench_envelope_is_valid_and_gated(envelope):
@@ -139,6 +159,6 @@ def test_cli_rejects_invalid_envelope(tmp_path, capsys):
 
 
 def test_bench_is_deterministic(envelope):
-    again = run_bench(pr=4)
+    again = run_bench(pr=5)
     assert json.dumps(envelope, sort_keys=True) \
         == json.dumps(again, sort_keys=True)

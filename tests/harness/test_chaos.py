@@ -37,7 +37,9 @@ def test_schedule_shape():
         for ev in sched.events:
             assert 2 <= ev.step <= 7
             assert ev.kind in ("kill_host", "kill_peer", "kill_both",
-                               "partition", "loss_burst")
+                               "partition", "loss_burst", "kill_migration")
+            if ev.kind == "kill_migration":
+                assert ev.site.startswith("migrate.")
         assert 0.0 <= sched.faults.drop <= 0.25
         assert 0.0 <= sched.faults.duplicate <= 0.15
         assert sched.describe()   # human-readable, never raises
@@ -67,6 +69,20 @@ def test_kill_host_trial_recovers():
     assert res.ok, res.violations
     assert res.recoveries >= 1
     assert res.events_applied == ["kill_host+reboot@3"]
+
+
+def test_kill_migration_trial_recovers_each_site():
+    from repro.nvbm import sites
+
+    for site in sites.MIGRATE_SITES:
+        sched = ChaosSchedule(
+            seed=0, trial=0, steps=6,
+            faults=LinkFaults(),
+            events=(ChaosEvent(kind="kill_migration", step=3, site=site),),
+        )
+        res = run_trial(sched)
+        assert res.ok, (site, res.violations)
+        assert res.events_applied == [f"kill_migration[{site}]@3"]
 
 
 def test_kill_both_trial_reports_degraded_not_crash():

@@ -110,6 +110,79 @@ def test_piece_count_mismatch_rejected():
         repartition(cluster.comm, [LinearOctree(2, [morton.ROOT_LOC])])
 
 
+def test_balanced_is_weighted_not_count_based():
+    """Regression: ``balanced`` used to compare raw leaf counts, which is
+    wrong once cuts are weight-based — a rank holding a few heavy interface
+    octants IS balanced despite owning far fewer leaves."""
+    cluster = _cluster(2)
+    leaves = _uniform_leaves(2)  # 16 leaves
+    pieces = [LinearOctree(2, leaves), LinearOctree(2, [], max_level=2)]
+    weights = [np.array([9.0] + [1.0] * 15), np.array([])]
+    res = repartition(cluster.comm, pieces, weights=weights)
+    sizes = [len(p) for p in res.pieces]
+    assert sizes[0] < sizes[1]  # the heavy-octant rank gets fewer leaves
+    loads = res.weighted_loads
+    mean = sum(loads) / len(loads)
+    assert max(loads) <= mean + res.max_weight + 1e-9
+    assert res.balanced  # weighted verdict, despite the unequal counts
+    assert res.imbalance >= res.imbalance_after
+
+
+def test_empty_piece_after_cut_carries_forest_max_level():
+    """Regression: a rank owning zero leaves after the cut used to get a
+    ``LinearOctree`` with ``max_level`` copied from a peer — keys stopped
+    being comparable across ranks.  Every rebuilt piece (empty included)
+    must carry the forest's agreed depth, never a stale peer value."""
+    cluster = _cluster(3)
+    leaves = _uniform_leaves(1)  # 4 leaves at level 1
+    pieces = [
+        LinearOctree(2, leaves, max_level=1),
+        LinearOctree(2, [], max_level=7),  # stale depth from a dead peer
+        LinearOctree(2, [], max_level=7),
+    ]
+    weights = [np.array([10.0, 1.0, 1.0, 1.0]), np.array([]), np.array([])]
+    res = repartition(cluster.comm, pieces, weights=weights)
+    assert [len(p) for p in res.pieces] == [1, 0, 3]  # middle rank empty
+    assert all(p.max_level == 1 for p in res.pieces)
+
+
+def test_threshold_skip_returns_pieces_untouched():
+    cluster = _cluster(2)
+    leaves = _uniform_leaves(2)
+    lin = LinearOctree(2, leaves)
+    (a0, a1), (b0, b1) = lin.split_ranges(2)
+    pieces = [lin.slice(a0, a1), lin.slice(b0, b1)]
+    res = repartition(cluster.comm, pieces, threshold=1.1)
+    assert res.skipped and res.octants_moved == 0
+    assert res.pieces[0] is pieces[0] and res.pieces[1] is pieces[1]
+    assert res.imbalance == res.imbalance_after == pytest.approx(1.0)
+
+
+def test_obs_counters_and_migrate_spans():
+    from repro.obs import Observability
+
+    cluster = _cluster(4)
+    obs = Observability(cluster.ranks[0].clock)
+    leaves = _uniform_leaves(3)
+    pieces = [LinearOctree(2, leaves)] + [
+        LinearOctree(2, [], max_level=3) for _ in range(3)
+    ]
+    res = repartition(cluster.comm, pieces, obs=obs)
+    m = obs.metrics
+    assert m.get("partition.octants_moved").value == res.octants_moved
+    assert m.get("partition.bytes_moved").value == res.bytes_moved
+    assert m.get("partition.imbalance").value == pytest.approx(res.imbalance)
+    names = [s.name for s in obs.tracer.spans]
+    assert "partition.migrate" in names and "migrate.batch" in names
+    # the batch spans nest under the migrate span
+    outer = obs.tracer.named("partition.migrate")[0]
+    assert obs.tracer.children_of(outer)
+    # a second call on the now-balanced pieces skips under a threshold
+    res2 = repartition(cluster.comm, res.pieces, threshold=1.5, obs=obs)
+    assert res2.skipped
+    assert m.get("partition.skipped").value == 1
+
+
 def test_cluster_node_layout():
     cluster = SimulatedCluster(40)
     assert cluster.nranks == 40

@@ -56,16 +56,36 @@ def test_dram_octants_overrides_fraction():
 
 
 def test_weak_scaling_partition_share_grows():
+    # Fig 7's growing-partition-share curve is a property of the paper's
+    # eager equal-count scheme, so pin it (the default threshold-gated
+    # incremental scheme exists to flatten exactly this curve).
     shares = []
     for P in (1, 8, 64):
         res = run_parallel(RunConfig(
             backend=Backend.PM_OCTREE, nranks=P, target_elements=1e6 * P,
             steps=4, solver=SOL,
+            partition_threshold=None, partition_weighted=False,
         ))
         part = res.phase_seconds.get("partition", 0.0)
         shares.append(part / res.makespan_s)
     assert shares[0] == 0.0  # single rank never partitions
     assert shares[1] < shares[2]
+
+
+def test_gated_partition_spends_no_more_than_eager():
+    # The default work-weighted threshold-gated incremental scheme must
+    # not spend a larger partition share than the eager paper scheme on
+    # the same workload.
+    def share(**kw):
+        res = run_parallel(RunConfig(
+            backend=Backend.PM_OCTREE, nranks=64, target_elements=64e6,
+            steps=4, solver=SOL, **kw,
+        ))
+        return res.phase_seconds.get("partition", 0.0) / res.makespan_s
+
+    gated = share()
+    eager = share(partition_threshold=None, partition_weighted=False)
+    assert gated <= eager
 
 
 def test_strong_scaling_speedup():
