@@ -3,23 +3,40 @@
 The PM-octree correctness argument (docs/crash-consistency.md) rests on one
 ordering invariant: *no root slot ever publishes a handle whose record lines
 are still sitting unflushed in the volatile cache*.  This package proves the
-invariant mechanically, three ways:
+invariant mechanically, four ways:
 
 * :mod:`repro.analysis.pmlint` — an AST static pass over ``src/repro`` that
   knows the persistence API surface and flags code that can publish without
   an intervening ``flush()``, bypasses the COW discipline in ``core/``, or
   declares a crash site the registry does not know.
+* :mod:`repro.analysis.dataflow` (with :mod:`repro.analysis.callgraph`) —
+  the interprocedural layer: flush/publish obligations are tracked as
+  abstract state along inlined call chains, so a store three frames below
+  a publish still reaches it, and every finding carries a call-chain
+  witness.  :mod:`repro.analysis.coverage` builds on its path records to
+  *prove* every discovered mutate→publish window (and journal retire)
+  contains a registered, sweep-exercised crash site.
 * :mod:`repro.analysis.tracker` — a shadow-state observer installed into
   :class:`~repro.nvbm.arena.MemoryArena` / ``RootSlots`` that records a
   per-handle event trace (store -> flush -> publish) and raises on ordering
-  violations at the moment they happen.
+  violations at the moment they happen; its epoch happens-before checker
+  (``cross-epoch-waf``) gates the future pipelined-persistence work.
 * :mod:`repro.analysis.sweep` — an exhaustive harness that arms every
   registered crash site in turn and asserts recovery lands on a persisted
   state.
 
-CLI: ``python -m repro analyze [--static|--trace|--sweep] [--json]``.
+CLI: ``python -m repro analyze [--static|--trace|--sweep|--interprocedural|
+--coverage] [--strict-epochs] [--baseline FILE] [--json]``.
 """
 
+from repro.analysis.callgraph import CallGraph, build_callgraph
+from repro.analysis.coverage import CoverageReport, prove_coverage
+from repro.analysis.dataflow import (
+    AnalysisResult,
+    DataflowFinding,
+    analyze_paths,
+    analyze_repo,
+)
 from repro.analysis.pmlint import Finding, lint_paths, lint_repo, lint_source
 from repro.analysis.sweep import SweepOutcome, sweep_all, sweep_site, trace_run
 from repro.analysis.tracker import (
@@ -30,14 +47,22 @@ from repro.analysis.tracker import (
 )
 
 __all__ = [
+    "AnalysisResult",
+    "CallGraph",
+    "CoverageReport",
+    "DataflowFinding",
     "Finding",
     "OrderingTracker",
     "SweepOutcome",
     "Violation",
+    "analyze_paths",
+    "analyze_repo",
+    "build_callgraph",
     "install_tracker",
     "lint_paths",
     "lint_repo",
     "lint_source",
+    "prove_coverage",
     "sweep_all",
     "sweep_site",
     "trace_run",

@@ -235,7 +235,7 @@ class _ModuleChecker:
         # exit with no intervening flush.
         pending: List[ast.Call] = []
         published = False
-        for call, kind, info in events:
+        for call, kind, _info in events:
             if kind == "write":
                 pending.append(call)
             elif kind == "flush":
@@ -277,7 +277,7 @@ class _ModuleChecker:
                         )
 
         # unknown-site: site names the registry does not know.
-        for call, kind, info in events:
+        for call, kind, _info in events:
             if kind == "site" and call.args:
                 self._check_site_arg(name, call)
 

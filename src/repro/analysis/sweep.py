@@ -69,7 +69,7 @@ class _Rig:
     """A self-contained single-rank PM-octree test bench."""
 
     def __init__(self, dram_octants: int = 2048, nvbm_octants: int = 1 << 15,
-                 dram_budget: int = 40):
+                 dram_budget: int = 40, strict_epochs: bool = False):
         self.clock = SimClock()
         self.injector = FailureInjector()
         self.dram = MemoryArena(ARENA_DRAM, DRAM_SPEC, self.clock,
@@ -79,7 +79,8 @@ class _Rig:
         self.config = PMOctreeConfig(dram_capacity_octants=dram_budget)
         self.tree = pm_create(self.dram, self.nvbm, dim=2,
                               config=self.config, injector=self.injector)
-        self.tracker = install_tracker(self.nvbm, strict=False)
+        self.tracker = install_tracker(self.nvbm, strict=False,
+                                       strict_epochs=strict_epochs)
 
     def crash(self, seed: int) -> None:
         self.dram.crash()
@@ -154,13 +155,17 @@ def _busy_step(rig: _Rig, hot: List[int], step: int, seed: int) -> None:
     tree.persist(transform=True)
 
 
-def trace_run(steps: int = 10, seed: int = 7) -> "OrderingTracker":
+def trace_run(steps: int = 10, seed: int = 7,
+              strict_epochs: bool = False) -> "OrderingTracker":
     """Run the workload un-armed with the ordering tracker watching.
 
     Returns the tracker; a clean library leaves ``tracker.violations``
     empty.  This is the ``repro analyze --trace`` entry point.
+    ``strict_epochs`` arms the cross-epoch write-after-flush rule — a
+    structural no-op on the synchronous pipeline (at most one persist
+    window is ever open) that becomes the gate for the async one.
     """
-    rig = _Rig()
+    rig = _Rig(strict_epochs=strict_epochs)
     hot = _setup_workload(rig)
     rig.tree.persist(transform=True)
     for step in range(steps):
@@ -506,11 +511,123 @@ def _migration_driver(site: str, max_steps: int, seed: int) -> SweepOutcome:
                         matched=matched)
 
 
+def _recover_driver(site: str, max_steps: int, seed: int) -> SweepOutcome:
+    """migrate.recover.mid: lose power *again* during migration recovery.
+
+    First crash a migration mid-batch (so the journal holds both a
+    published batch to re-drive and pending batches to roll back), then
+    arm the recovery site and crash inside :func:`recover_migration`
+    itself.  The second recovery run — un-armed — must finish the repair:
+    both arms are idempotent, so a half-repaired journal is just re-walked
+    and every octant still ends in exactly one rank's store.
+    """
+    from repro.config import TITAN
+    from repro.octree.linear import LinearOctree
+    from repro.parallel.network import Network
+    from repro.parallel.partition import (
+        MigrationState,
+        recover_migration,
+        repartition,
+    )
+    from repro.parallel.simmpi import RankContext, SimCommunicator
+
+    dim, max_level, nranks = 2, 2, 4
+    rng = np.random.default_rng(seed)
+    locs = sorted(
+        (morton.loc_from_coords(max_level, (x, y), dim)
+         for x in range(4) for y in range(4)),
+        key=lambda loc: morton.zorder_key(loc, dim, max_level),
+    )
+    payloads = rng.random((len(locs), 4))
+    truth = {loc: tuple(payloads[i]) for i, loc in enumerate(locs)}
+    weight_of = {loc: float(1.0 + rng.integers(0, 5)) for loc in locs}
+    bounds = [0, 10, 12, 14, 16]
+    pieces = [
+        LinearOctree(dim, locs[bounds[r]:bounds[r + 1]],
+                     payloads[bounds[r]:bounds[r + 1]], max_level=max_level)
+        for r in range(nranks)
+    ]
+    wlists = [
+        np.array([weight_of[int(loc)] for loc in piece.locs])
+        for piece in pieces
+    ]
+    ranks = [RankContext(rank=r, node=r) for r in range(nranks)]
+    comm = SimCommunicator(ranks, Network(TITAN.network))
+    injector = FailureInjector()
+    # tear the migration where the journal is at its most mixed: some
+    # batches published, none retired
+    injector.arm(site_registry.MIGRATE_PRE_RETIRE, at_hit=1)
+    state = MigrationState()
+    try:
+        repartition(comm, pieces, weights=wlists, injector=injector,
+                    state=state)
+    except SimulatedCrash:
+        pass
+    else:
+        return SweepOutcome(site=site, fired=False, recovered=None,
+                            detail="setup migration completed without "
+                                   "tearing")
+
+    injector.disarm()
+    injector.reset_hits()
+    injector.arm(site, at_hit=1)
+    fired = False
+    try:
+        recover_migration(state, injector=injector)
+    except SimulatedCrash:
+        fired = True
+    if not fired:
+        return SweepOutcome(site=site, fired=False, recovered=None,
+                            detail="recovery completed without visiting "
+                                   "the site")
+
+    # second power loss survived: re-run recovery un-armed
+    injector.disarm()
+    recover_migration(state)
+    seen: Dict[int, tuple] = {}
+    for store in state.stores:
+        for loc, row in store.items():
+            if loc in seen:
+                return SweepOutcome(
+                    site=site, fired=True, recovered=False,
+                    detail=f"octant {loc:#x} duplicated across ranks")
+            seen[loc] = tuple(float(v) for v in row)
+    if set(seen) != set(truth):
+        return SweepOutcome(
+            site=site, fired=True, recovered=False,
+            detail=f"octants lost: {len(truth) - len(seen)} missing")
+    torn = [loc for loc in truth if seen[loc] != truth[loc]]
+    if torn:
+        return SweepOutcome(site=site, fired=True, recovered=False,
+                            detail=f"payload torn on {len(torn)} octants")
+    if state.log.in_flight:
+        return SweepOutcome(
+            site=site, fired=True, recovered=False,
+            detail=f"{len(state.log.in_flight)} batches left in flight")
+    pieces2 = state.rebuild_pieces()
+    wlists2 = [
+        np.array([weight_of[int(loc)] for loc in piece.locs])
+        for piece in pieces2
+    ]
+    try:
+        res = repartition(comm, pieces2, weights=wlists2)
+    except ReproError as exc:
+        return SweepOutcome(site=site, fired=True, recovered=False,
+                            detail=f"re-driven repartition failed: {exc}")
+    if not res.balanced:
+        return SweepOutcome(
+            site=site, fired=True, recovered=False,
+            detail=f"re-driven cut unbalanced: {res.imbalance_after:.3f}")
+    return SweepOutcome(site=site, fired=True, recovered=True,
+                        matched="recovery-re-driven")
+
+
 _DRIVERS: Dict[str, Callable[[str, int, int], SweepOutcome]] = {
     site_registry.ROOTS_SWAP_MID: _swap_driver,
     site_registry.MIGRATE_PRE_PUBLISH: _migration_driver,
     site_registry.MIGRATE_MID_BATCH: _migration_driver,
     site_registry.MIGRATE_PRE_RETIRE: _migration_driver,
+    site_registry.MIGRATE_RECOVER_MID: _recover_driver,
     site_registry.REPLICA_BEFORE_PUBLISH: _replica_driver,
     site_registry.REPLICA_SHIP_BEFORE_SEND: _protocol_driver,
     site_registry.REPLICA_SHIP_AFTER_APPLY: _protocol_driver,

@@ -22,11 +22,29 @@ event trace, and classifies ordering violations the instant they occur:
     an in-place store to a currently-published handle — invariant I2 says
     records reachable from ``V_{i-1}`` are never written in place.
 
+``cross-epoch-waf``
+    (epoch happens-before checker) a store landed on a record that an
+    *earlier, still-open* persist epoch snapshotted as pending-flush — a
+    write-after-flush race that only an overlapped (asynchronous) persist
+    pipeline can produce.  Epoch windows are opened/closed by the persist
+    point (``on_epoch_open`` / ``on_epoch_close``); each window carries a
+    vector-clock-style position ``(epoch, rank, record)`` — the epoch
+    counter, the arena rank that opened it, and the snapshot of dirty
+    record handles it is responsible for flushing.  A store is attributed
+    to the *innermost* open window; touching a handle pending in any
+    **outer** window means the newer epoch raced the older epoch's flush
+    set.  On today's synchronous pipeline at most one window is ever open,
+    so the checker is a structural no-op — it exists to gate the
+    ROADMAP's pipelined-persistence work (Ben-David et al. delay-free
+    epochs) from day one.
+
 In ``strict`` mode (default) a violation raises
 :class:`~repro.errors.OrderingViolationError` at the offending call, so the
 failing stack trace points at the buggy store/publish, not at a later
 recovery.  In non-strict mode violations accumulate in
-:attr:`OrderingTracker.violations` for reporting.
+:attr:`OrderingTracker.violations` for reporting.  ``strict_epochs``
+controls the cross-epoch rule separately (the async pipeline will turn it
+on in CI before the overlap lands).
 """
 
 from __future__ import annotations
@@ -73,6 +91,19 @@ class _HandleState:
     trace: List[str] = field(default_factory=list)
 
 
+@dataclass
+class _EpochWindow:
+    """One open persist epoch: its vector-clock position and flush set."""
+
+    epoch: int                 #: monotonic epoch counter (the clock)
+    rank: int                  #: arena rank that opened the window
+    pending: Set[int]          #: dirty handles snapshotted at open —
+    #: the records THIS epoch's flush is responsible for making durable
+
+    def position(self, handle: int) -> Tuple[int, int, int]:
+        return (self.epoch, self.rank, handle)
+
+
 class OrderingTracker:
     """Shadow-state observer for persistence ordering.
 
@@ -81,16 +112,20 @@ class OrderingTracker:
     """
 
     def __init__(self, publish_slots: Sequence[str] = DEFAULT_PUBLISH_SLOTS,
-                 strict: bool = True, trace_limit: int = 64):
+                 strict: bool = True, trace_limit: int = 64,
+                 strict_epochs: bool = False):
         self.publish_slots: Set[str] = set(publish_slots)
         self.strict = strict
+        self.strict_epochs = strict_epochs
         self.trace_limit = trace_limit
         self.violations: List[Violation] = []
         self._state: Dict[int, _HandleState] = {}
         self._published: Dict[str, int] = {}  # publish slot -> handle
         self._seq = 0
+        self._epoch_clock = 0
+        self._windows: List[_EpochWindow] = []  # open epochs, oldest first
         self.counts = {"stores": 0, "flushes": 0, "publishes": 0,
-                       "frees": 0, "crashes": 0}
+                       "frees": 0, "crashes": 0, "epochs": 0}
 
     # -- event helpers ------------------------------------------------------
 
@@ -122,6 +157,59 @@ class OrderingTracker:
     def published(self) -> Dict[str, int]:
         return dict(self._published)
 
+    @property
+    def open_epochs(self) -> Tuple[int, ...]:
+        """Epoch numbers of the currently open persist windows, oldest
+        first (the synchronous pipeline never has more than one)."""
+        return tuple(w.epoch for w in self._windows)
+
+    # -- epoch hooks --------------------------------------------------------
+
+    def on_epoch_open(self, rank: int = 0) -> int:
+        """A persist epoch begins: snapshot the dirty set this epoch's
+        flush is responsible for, and advance the epoch clock."""
+        self._epoch_clock += 1
+        self.counts["epochs"] += 1
+        pending = {h for h, st in self._state.items() if st.dirty}
+        self._windows.append(
+            _EpochWindow(epoch=self._epoch_clock, rank=rank,
+                         pending=pending)
+        )
+        return self._epoch_clock
+
+    def on_epoch_close(self, epoch: int = 0) -> None:
+        """A persist epoch retired.  ``epoch`` of 0 closes the innermost
+        window (the synchronous caller does not need to thread the id)."""
+        if not self._windows:
+            return
+        if epoch == 0:
+            self._windows.pop()
+            return
+        for i, win in enumerate(self._windows):
+            if win.epoch == epoch:
+                del self._windows[i]
+                return
+
+    def _check_epoch_store(self, handle: int) -> None:
+        """A store is attributed to the innermost open window; landing on
+        a handle an **outer** open window still has pending means the new
+        epoch raced the old epoch's flush set."""
+        for win in self._windows[:-1]:
+            if handle in win.pending:
+                current = (self._windows[-1].epoch if self._windows else 0)
+                v = Violation(
+                    kind="cross-epoch-waf", handle=handle,
+                    detail=(
+                        f"store from epoch {current} hit a record that "
+                        f"open epoch {win.epoch} (rank {win.rank}) "
+                        "snapshotted as pending-flush — write-after-flush "
+                        f"race at position {win.position(handle)}"
+                    ),
+                )
+                self.violations.append(v)
+                if self.strict_epochs:
+                    raise OrderingViolationError(v.describe())
+
     # -- arena hooks --------------------------------------------------------
 
     def on_store(self, handle: int, cached: bool = True) -> None:
@@ -130,6 +218,7 @@ class OrderingTracker:
         st = self._get(handle)
         if cached:
             st.dirty = True
+            self._check_epoch_store(handle)
         for slot, published in self._published.items():
             if published == handle:
                 self._violate(
@@ -145,6 +234,8 @@ class OrderingTracker:
             st = self._get(handle)
             st.dirty = False
             st.ever_flushed = True
+            for win in self._windows:
+                win.pending.discard(handle)
 
     def on_publish(self, slot: str, handle: int) -> None:
         self.counts["publishes"] += 1
@@ -189,10 +280,13 @@ class OrderingTracker:
 
     def on_crash(self) -> None:
         """Power loss: every dirty line is potentially gone; shadow state of
-        unflushed stores is dropped (their records never became durable)."""
+        unflushed stores is dropped (their records never became durable),
+        and every open epoch window dies with the volatile state — the
+        epoch that recovery re-drives opens a fresh window."""
         self.counts["crashes"] += 1
         for st in self._state.values():
             st.dirty = False
+        self._windows.clear()
 
     # -- reporting ----------------------------------------------------------
 
@@ -208,9 +302,11 @@ class OrderingTracker:
 
 
 def install_tracker(*arenas, publish_slots: Sequence[str] = DEFAULT_PUBLISH_SLOTS,
-                    strict: bool = True) -> OrderingTracker:
+                    strict: bool = True,
+                    strict_epochs: bool = False) -> OrderingTracker:
     """Create one tracker and hook it into every given arena (and roots)."""
-    tracker = OrderingTracker(publish_slots=publish_slots, strict=strict)
+    tracker = OrderingTracker(publish_slots=publish_slots, strict=strict,
+                              strict_epochs=strict_epochs)
     for arena in arenas:
         arena.tracer = tracker
         arena.roots.tracer = tracker

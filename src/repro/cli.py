@@ -179,14 +179,82 @@ def _cmd_recover(_args) -> int:
     return 0
 
 
+def _baseline_diff(baseline_path: str, fingerprints: List[str]) -> List[dict]:
+    """Diff current finding fingerprints against a committed baseline.
+
+    Returns one row per difference: ``new`` findings (not in the baseline —
+    a regression) and ``stale`` baseline entries (fixed findings whose
+    baseline line must be deleted so the debt cannot silently come back).
+    An empty list means the tree matches the baseline exactly.
+    """
+    import json
+
+    with open(baseline_path) as fh:
+        base = json.load(fh)
+    known = list(base.get("fingerprints", []))
+    current = list(fingerprints)
+    rows = []
+    for fp in sorted(set(current) - set(known)):
+        rows.append({"status": "new", "fingerprint": fp,
+                     "detail": "finding not in baseline — fix it or add it "
+                               "to the baseline with a review"})
+    for fp in sorted(set(known) - set(current)):
+        rows.append({"status": "stale", "fingerprint": fp,
+                     "detail": "baseline entry no longer observed — delete "
+                               "it from the baseline"})
+    return rows
+
+
+def _export_metrics(sections: dict, out_path: str) -> None:
+    """Export finding counts as obs metrics (one counter per section/rule).
+
+    The analyzer is offline — there is no simulated clock — so samples carry
+    ``updated_ns == 0``; CI dashboards key on the label set, not the stamp.
+    """
+    from repro.obs import MetricsRegistry
+
+    reg = MetricsRegistry()
+    for name, rows in sections.items():
+        if name == "sweep":
+            reg.counter("analysis.sweep.sites").inc(len(rows))
+            failures = sum(1 for r in rows if r.get("recovered") is False)
+            reg.counter("analysis.sweep.failures").inc(failures)
+            continue
+        # a zero-valued total per section distinguishes "ran clean"
+        # from "section never ran" in the exported stream
+        reg.counter("analysis.findings.total", section=name).inc(len(rows))
+        for r in rows:
+            rule = str(r.get("rule") or r.get("kind") or r.get("status")
+                       or name)
+            reg.counter("analysis.findings", section=name, rule=rule).inc()
+    with open(out_path, "w") as fh:
+        reg.export_jsonl(fh)
+
+
 def _cmd_analyze(args) -> int:
-    """Crash-consistency analysis: pmlint / ordering trace / site sweep."""
-    from repro.analysis import lint_paths, lint_repo, sweep_all, trace_run
+    """Crash-consistency analysis: pmlint / dataflow / coverage / trace /
+    site sweep, plus optional baseline gating and metrics export."""
+    import os
+
+    # A typo'd crash-site name armed during analysis must fail the run,
+    # not silently never fire (FailureInjector strict mode).
+    os.environ.setdefault("REPRO_STRICT_SITES", "1")
+
+    from repro.analysis import (
+        analyze_paths, analyze_repo, lint_paths, lint_repo, prove_coverage,
+        sweep_all, trace_run,
+    )
     from repro.harness.report import render_json
 
-    run_all = not (args.static or args.trace or args.sweep)
+    run_all = not (args.static or args.trace or args.sweep
+                   or args.interprocedural or args.coverage)
     sections = {}
     ok = True
+    #: interprocedural + coverage findings are the baseline-gated set;
+    #: when --baseline is given the diff decides pass/fail for them.
+    gated = []
+    coverage_summary = None
+    epoch_count = None
 
     if args.static or run_all:
         if args.path:
@@ -196,15 +264,49 @@ def _cmd_analyze(args) -> int:
         sections["static"] = [f.to_row() for f in findings]
         ok = ok and not findings
 
+    result = None
+    if args.interprocedural or args.coverage or run_all:
+        if args.path:
+            result = analyze_paths(args.path)
+        else:
+            result = analyze_repo()
+
+    if args.interprocedural or run_all:
+        sections["interprocedural"] = [f.to_row() for f in result.findings]
+        gated.extend(result.findings)
+
+    if args.coverage or run_all:
+        report = prove_coverage(result)
+        sections["coverage"] = report.finding_rows()
+        coverage_summary = report.summary()
+        gated.extend(report.findings)
+
+    if args.baseline:
+        diff = _baseline_diff(args.baseline,
+                              [f.fingerprint() for f in gated])
+        sections["baseline"] = diff
+        ok = ok and not diff
+    else:
+        ok = ok and not gated
+
     if args.trace or run_all:
-        tracker = trace_run(steps=args.steps)
-        sections["trace"] = tracker.report_rows()
+        tracker = trace_run(steps=args.steps,
+                            strict_epochs=args.strict_epochs)
+        rows = tracker.report_rows()
+        sections["trace"] = [r for r in rows
+                             if r["kind"] != "cross-epoch-waf"]
+        sections["epochs"] = [r for r in rows
+                              if r["kind"] == "cross-epoch-waf"]
+        epoch_count = tracker.counts["epochs"]
         ok = ok and not tracker.violations
 
     if args.sweep or run_all:
         outcomes = sweep_all(max_steps=args.steps)
         sections["sweep"] = [o.to_row() for o in outcomes]
         ok = ok and all(o.ok for o in outcomes)
+
+    if args.metrics_out:
+        _export_metrics(sections, args.metrics_out)
 
     if args.json:
         print(render_json(sections, ok))
@@ -218,15 +320,52 @@ def _cmd_analyze(args) -> int:
                          for r in rows])
         else:
             print("pmlint: clean (0 findings)")
+    if "interprocedural" in sections:
+        rows = sections["interprocedural"]
+        if rows:
+            print_table(
+                "dataflow findings", ["rule", "where", "witness chain"],
+                [(r["rule"], f"{r['path']}:{r['line']}",
+                  " -> ".join(r["chain"]) or "-") for r in rows],
+            )
+            for r in rows:
+                print(f"  {r['path']}:{r['line']}: {r['message']}")
+        else:
+            print("dataflow: clean (0 findings)")
+    if "coverage" in sections:
+        rows = sections["coverage"]
+        if rows:
+            print_table(
+                "coverage findings", ["rule", "where", "message"],
+                [(r["rule"], f"{r['path']}:{r['line']}", r["message"])
+                 for r in rows],
+            )
+        else:
+            s = coverage_summary or {}
+            print(f"coverage: proven — {s.get('windows', 0)} "
+                  f"mutate->publish window(s) and {s.get('retires', 0)} "
+                  "retire(s) all contain a registered crash site "
+                  f"({s.get('declared_sites', 0)} sites anchored)")
+    if "baseline" in sections:
+        rows = sections["baseline"]
+        if rows:
+            print_table("baseline drift", ["status", "fingerprint", "detail"],
+                        [(r["status"], r["fingerprint"], r["detail"])
+                         for r in rows])
+        else:
+            print("baseline: matches (no new or stale findings)")
     if "trace" in sections:
-        rows = sections["trace"]
+        rows = sections["trace"] + sections["epochs"]
         if rows:
             print_table("ordering violations",
                         ["kind", "handle", "slot", "detail"],
                         [(r["kind"], r["handle"], r["slot"], r["detail"])
                          for r in rows])
         else:
-            print("ordering trace: clean (0 violations)")
+            epochs = (f", {epoch_count} persist epoch(s) opened+closed"
+                      if epoch_count is not None else "")
+            strict = " [strict-epochs]" if args.strict_epochs else ""
+            print(f"ordering trace: clean (0 violations{epochs}){strict}")
     if "sweep" in sections:
         print_table(
             "crash-site sweep",
@@ -379,21 +518,39 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "analyze",
-        help="crash-consistency checks: static lint, ordering trace, "
-             "exhaustive crash-site sweep (default: all three)",
+        help="crash-consistency checks: static lint, interprocedural "
+             "dataflow, crash-site coverage proof, ordering trace, "
+             "exhaustive crash-site sweep (default: all five)",
     )
     p.add_argument("--static", action="store_true",
                    help="run pmlint over the library source")
+    p.add_argument("--interprocedural", action="store_true",
+                   help="run the interprocedural flush/publish dataflow "
+                        "pass (call-chain witnesses)")
+    p.add_argument("--coverage", action="store_true",
+                   help="prove every mutate->publish window and journal "
+                        "retire contains a registered crash site")
     p.add_argument("--trace", action="store_true",
                    help="run the workload with the runtime ordering tracker")
+    p.add_argument("--strict-epochs", action="store_true",
+                   help="raise on cross-epoch write-after-flush races in "
+                        "--trace (a no-op on the synchronous pipeline; "
+                        "gates the future pipelined persist)")
     p.add_argument("--sweep", action="store_true",
                    help="arm every registered crash site and verify recovery")
+    p.add_argument("--baseline", metavar="BASELINE.json",
+                   help="gate --interprocedural/--coverage findings against "
+                        "a committed fingerprint baseline: new findings and "
+                        "stale baseline entries both fail")
+    p.add_argument("--metrics-out", metavar="METRICS.jsonl",
+                   help="export finding counts as obs metrics JSONL")
     p.add_argument("--json", action="store_true",
                    help="emit one machine-readable JSON report")
     p.add_argument("--steps", type=int, default=8,
                    help="workload steps for --trace/--sweep")
     p.add_argument("--path", nargs="*",
-                   help="files/directories for --static (default: repro)")
+                   help="files/directories for --static/--interprocedural "
+                        "(default: repro)")
     p.set_defaults(func=_cmd_analyze)
 
     p = sub.add_parser(

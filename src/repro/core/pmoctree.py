@@ -289,6 +289,11 @@ class PMOctree:
             self._index[cloc] = ch
             self._leaf_set.add(cloc)
         rec.set_leaf(False)
+        # pmlint: allow[raw-write]: handle is the fresh COW copy from
+        # _ensure_writable and every mutable field (all child slots plus
+        # the leaf flag) changes — the whole-record store IS the minimal
+        # update here, and field-granular stores would alter the charged
+        # line counts the locked bench envelope records.
         self.nvbm.write_octant(handle, rec)
         self._leaf_set.discard(loc)
         return child_locs
@@ -559,40 +564,56 @@ class PMOctree:
 
         if keep_resident is None:
             keep_resident = transform
-        self.injector.site(sites.PERSIST_BEGIN)
-        self.merging = True
+        # Epoch happens-before bracket: the tracker (when installed)
+        # snapshots this epoch's flush obligations at open and retires the
+        # window after the epoch's last flush.  Synchronous today — the
+        # pipelined-persistence work overlaps these windows, and the
+        # tracker's cross-epoch-waf rule is armed from day one.
+        tracer = getattr(self.nvbm, "tracer", None)
+        epoch_open = getattr(tracer, "on_epoch_open", None)
+        epoch_close = getattr(tracer, "on_epoch_close", None)
+        epoch_window = epoch_open() if epoch_open is not None else 0
         try:
-            root = merge_all_c0(self, keep_resident=keep_resident)
-            if not is_nvbm(root):
-                raise ConsistencyError("root still volatile after merge")
-            self.injector.site(sites.PERSIST_BEFORE_FLUSH)
+            self.injector.site(sites.PERSIST_BEGIN)
+            self.merging = True
+            try:
+                root = merge_all_c0(self, keep_resident=keep_resident)
+                if not is_nvbm(root):
+                    raise ConsistencyError("root still volatile after merge")
+                self.injector.site(sites.PERSIST_BEFORE_FLUSH)
+                self.nvbm.flush()
+                self.injector.site(sites.PERSIST_BEFORE_ROOT_SWAP)
+                # THE commit point: one atomic 8-byte root-slot store.
+                self.nvbm.roots.set(SLOT_PREV, root)
+                self.injector.site(sites.PERSIST_AFTER_ROOT_SWAP)
+            finally:
+                self.merging = False
+            self.epoch += 1
+            self.stats.persists += 1
+            if keep_resident and not transform and not self._c0_roots:
+                # Static (brute-force) layout: when pressure evictions have
+                # emptied C0, re-fill it with the first subtree that fits, by
+                # locational-code order — no access-pattern knowledge (Fig 5a).
+                self._load_static_chunk()
+            # Mark records superseded by COW during the finished step: they
+            # are V_{i-2}-only now and become GC food.
+            for old in self._superseded:
+                if self.nvbm.contains(old):
+                    flags = self.nvbm.read_flags(old)
+                    # pmlint: allow-direct-write — superseded records belong
+                    # to V_{i-2} only; the freshly published root cannot
+                    # reach them.
+                    self.nvbm.set_flags(old, flags | FLAG_DELETED)
+                    self._count_partial_write()
+                    self.stats.marked_deleted += 1
+                    self._obs_count("pm.marked_deleted")
+            self._superseded.clear()
             self.nvbm.flush()
-            self.injector.site(sites.PERSIST_BEFORE_ROOT_SWAP)
-            # THE commit point: one atomic 8-byte root-slot store.
-            self.nvbm.roots.set(SLOT_PREV, root)
-            self.injector.site(sites.PERSIST_AFTER_ROOT_SWAP)
         finally:
-            self.merging = False
-        self.epoch += 1
-        self.stats.persists += 1
-        if keep_resident and not transform and not self._c0_roots:
-            # Static (brute-force) layout: when pressure evictions have
-            # emptied C0, re-fill it with the first subtree that fits, by
-            # locational-code order — no access-pattern knowledge (Fig 5a).
-            self._load_static_chunk()
-        # Mark records superseded by COW during the finished step: they are
-        # V_{i-2}-only now and become GC food.
-        for old in self._superseded:
-            if self.nvbm.contains(old):
-                flags = self.nvbm.read_flags(old)
-                # pmlint: allow-direct-write — superseded records belong to
-                # V_{i-2} only; the freshly published root cannot reach them.
-                self.nvbm.set_flags(old, flags | FLAG_DELETED)
-                self._count_partial_write()
-                self.stats.marked_deleted += 1
-                self._obs_count("pm.marked_deleted")
-        self._superseded.clear()
-        self.nvbm.flush()
+            # a crash already tore the window down via on_crash; closing a
+            # dead window id is a no-op
+            if epoch_close is not None:
+                epoch_close(epoch_window)
         if self.nvbm.free_fraction < self.config.threshold_nvbm:
             self.gc()
         if self.replicator is not None:

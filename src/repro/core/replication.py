@@ -480,6 +480,9 @@ def restore_from_replica(replica: ReplicaStore, dram: MemoryArena,
         rec.children = [swizzle(c) for c in rec.children]
         # pmlint: allow-direct-write — every target slot was freshly
         # allocated above; nothing persistent can reach it yet.
+        # pmlint: allow[raw-write]: materialising a replica record fills
+        # every byte of a just-allocated slot — there is no smaller field
+        # set to store.
         nvbm.write_octant(translation[old], rec)
     nvbm.flush()
     if injector is not None:

@@ -39,6 +39,16 @@ class SimulatedCrash(ReproError):
         self.point = point
 
 
+class UnknownCrashSiteError(ReproError):
+    """An armed crash-site name is not in :mod:`repro.nvbm.sites`.
+
+    Raised by :meth:`repro.nvbm.failure.FailureInjector.arm` in strict
+    mode (under pytest / ``repro analyze``, or when ``REPRO_STRICT_SITES``
+    is set): a typo'd site name is otherwise a silent no-op — the plan
+    never fires and the arming test passes without testing anything.
+    """
+
+
 class RecoveryError(ReproError):
     """Recovery could not produce a consistent octree (e.g. lost replica)."""
 

@@ -516,7 +516,7 @@ def exp_write_intensity(steps: int = 30, max_level: int = 5) -> WriteIntensity:
     prev_r = prev_w = 0
     sim.construct()
     sample()  # construction burst: the write-intensity peak
-    for k in range(steps):
+    for _ in range(steps):
         sim.step_count += 1
         sim.t = sim.step_count * solver.dt
         sim._adapt()

@@ -10,6 +10,11 @@ from typing import Any, Dict, Iterable, List, Sequence
 #: Version tag of the benchmark envelope (see docs/observability.md).
 BENCH_SCHEMA = "repro-bench/v1"
 
+#: Version tag of the ``repro analyze --json`` envelope.  Bump only on
+#: breaking shape changes; *additive* fields (new sections, new row keys)
+#: keep the version, which is what lets CI diff baselines across them.
+ANALYZE_SCHEMA = "repro-analyze/v1"
+
 
 def fmt(value: Any) -> str:
     """Human-friendly cell formatting.
@@ -69,14 +74,46 @@ def json_payload(sections: Dict[str, Iterable[Dict[str, Any]]],
 
     ``sections`` maps a section name (e.g. ``"static"``) to dict rows, one
     per finding/outcome.  The envelope carries an overall verdict so CI can
-    gate on ``payload["ok"]`` (or the process exit code) alone.
+    gate on ``payload["ok"]`` (or the process exit code) alone, and a
+    schema tag (:data:`ANALYZE_SCHEMA`) so baseline diffs stay stable
+    across additive field changes.
     """
     norm = {name: [dict(r) for r in rows] for name, rows in sections.items()}
     return {
+        "schema": ANALYZE_SCHEMA,
         "ok": bool(ok),
         "sections": norm,
         "counts": {name: len(rows) for name, rows in norm.items()},
     }
+
+
+def validate_analyze_envelope(env: Dict[str, Any]) -> List[str]:
+    """Schema check for an analyze envelope; returns a list of problems."""
+    problems: List[str] = []
+    if not isinstance(env, dict):
+        return ["envelope is not a JSON object"]
+    if env.get("schema") != ANALYZE_SCHEMA:
+        problems.append(
+            f"schema is {env.get('schema')!r}, expected {ANALYZE_SCHEMA!r}"
+        )
+    if not isinstance(env.get("ok"), bool):
+        problems.append("ok is not a boolean")
+    sections = env.get("sections")
+    if not isinstance(sections, dict):
+        problems.append("sections is not an object")
+        return problems
+    for name, rows in sections.items():
+        if not isinstance(rows, list) \
+                or not all(isinstance(r, dict) for r in rows):
+            problems.append(f"section {name!r} is not a list of objects")
+    counts = env.get("counts")
+    if not isinstance(counts, dict):
+        problems.append("counts is not an object")
+    else:
+        for name, rows in sections.items():
+            if counts.get(name) != len(rows):
+                problems.append(f"counts[{name!r}] does not match section")
+    return problems
 
 
 def render_json(sections: Dict[str, Iterable[Dict[str, Any]]],

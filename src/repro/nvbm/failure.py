@@ -12,11 +12,12 @@ attempting recovery.
 
 from __future__ import annotations
 
+import os
 import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.errors import SimulatedCrash
+from repro.errors import SimulatedCrash, UnknownCrashSiteError
 from repro.nvbm import sites as site_registry
 
 
@@ -26,6 +27,21 @@ class UnknownCrashSiteWarning(UserWarning):
     A typo'd site name is otherwise a silent no-op: the plan never fires and
     the arming test "passes" without exercising anything.
     """
+
+
+def _strict_sites() -> bool:
+    """Whether arming an unknown site should raise instead of warn.
+
+    An explicit ``REPRO_STRICT_SITES`` value wins (``1``/``true`` →
+    strict, ``0``/``false``/empty → permissive); otherwise strict mode is
+    on whenever a pytest test is executing (``PYTEST_CURRENT_TEST``) —
+    ``repro analyze`` sets the variable itself.  Library consumers outside
+    those contexts keep the historical warn-only behaviour.
+    """
+    explicit = os.environ.get("REPRO_STRICT_SITES")
+    if explicit is not None:
+        return explicit.strip().lower() in ("1", "true", "yes", "on")
+    return "PYTEST_CURRENT_TEST" in os.environ
 
 
 @dataclass
@@ -97,17 +113,20 @@ class FailureInjector:
         (its remaining hits are forgotten); it never merges hit lists.
         Use :meth:`disarm` first if the replacement should be explicit.
 
-        Warns when ``site`` is not in the central registry
-        (:mod:`repro.nvbm.sites`) — the plan would otherwise never fire.
+        When ``site`` is not in the central registry
+        (:mod:`repro.nvbm.sites`) the plan would never fire: under pytest
+        or ``repro analyze`` (see :func:`_strict_sites`) this **raises**
+        :class:`~repro.errors.UnknownCrashSiteError`; elsewhere it warns.
         """
         if not site_registry.is_known(site):
-            warnings.warn(
+            message = (
                 f"arming unknown crash site {site!r}; it is not in "
                 "repro.nvbm.sites and will never fire unless code declares "
-                "it — register() it if intentional",
-                UnknownCrashSiteWarning,
-                stacklevel=2,
+                "it — register() it if intentional"
             )
+            if _strict_sites():
+                raise UnknownCrashSiteError(message)
+            warnings.warn(message, UnknownCrashSiteWarning, stacklevel=2)
         self._plans[site] = CrashPlan(
             site, at_hit, hits=tuple(hits) if hits is not None else None,
             every_hit=every_hit,

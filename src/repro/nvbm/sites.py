@@ -17,7 +17,8 @@ Tests that need ad-hoc sites can :func:`register` them first.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional
 
 # -- copy-on-write ----------------------------------------------------------
 COW_AFTER_COPY = "cow.after_copy"
@@ -48,6 +49,7 @@ ROOTS_SWAP_MID = "roots.swap.mid"
 MIGRATE_PRE_PUBLISH = "migrate.pre_publish"
 MIGRATE_MID_BATCH = "migrate.mid_batch"
 MIGRATE_PRE_RETIRE = "migrate.pre_retire"
+MIGRATE_RECOVER_MID = "migrate.recover.mid"
 
 #: The migration protocol's sites in protocol order (sweep/chaos iterate
 #: these; recovery must re-drive or roll back cleanly at each).
@@ -83,12 +85,73 @@ DESCRIPTIONS: Dict[str, str] = {
                        "receiver, none retired at the sender",
     MIGRATE_PRE_RETIRE: "migration batch fully published at the receiver, "
                         "sender octants not yet retired",
+    MIGRATE_RECOVER_MID: "mid migration recovery: some journal batches "
+                         "re-driven or rolled back, the rest untouched",
     REPLICA_BEFORE_PUBLISH: "replica materialised and flushed, root not set",
     REPLICA_SHIP_BEFORE_SEND: "delta computed and sequenced, nothing sent",
     REPLICA_SHIP_AFTER_APPLY: "peer applied the delta, ack not yet delivered",
     REPLICA_SHIP_BEFORE_ACK: "ack delivered, host success not yet recorded",
     REPLICA_RESYNC_BEGIN: "peer state diverged, full resync about to start",
 }
+
+
+@dataclass(frozen=True)
+class SiteMeta:
+    """Static metadata the coverage prover cross-references.
+
+    ``module`` is the module whose code declares the site (where the
+    ``injector.site(...)`` call lives); ``bracket`` names the protocol
+    window the site tears:
+
+    * ``mutate-publish`` — between the first dirty NVBM store and the
+      root-slot publish that commits it;
+    * ``publish-point`` — inside the persist commit sequence itself;
+    * ``publish-retire`` — between a migration batch's publish and the
+      sender-side retire (including the recovery re-drive);
+    * ``protocol`` — inside a replication message exchange.
+    """
+
+    name: str
+    description: str
+    module: str = ""
+    bracket: str = "mutate-publish"
+
+
+#: name -> static metadata (owning module, expected bracket).
+METADATA: Dict[str, SiteMeta] = {}
+
+
+def _declare(name: str, module: str, bracket: str) -> None:
+    METADATA[name] = SiteMeta(name=name, description=DESCRIPTIONS[name],
+                              module=module, bracket=bracket)
+
+
+for _name, _module, _bracket in (
+    (COW_AFTER_COPY, "repro.core.pmoctree", "mutate-publish"),
+    (MERGE_OCTANT, "repro.core.merge", "mutate-publish"),
+    (MERGE_SUBTREE_DONE, "repro.core.merge", "mutate-publish"),
+    (EVICT_BEGIN, "repro.core.merge", "mutate-publish"),
+    (LOAD_OCTANT, "repro.core.merge", "mutate-publish"),
+    (COARSEN_MID, "repro.core.pmoctree", "mutate-publish"),
+    (PAYLOAD_PARTIAL, "repro.core.pmoctree", "mutate-publish"),
+    (TRANSFORM_MID, "repro.core.transform", "mutate-publish"),
+    (PERSIST_BEGIN, "repro.core.pmoctree", "publish-point"),
+    (PERSIST_BEFORE_FLUSH, "repro.core.pmoctree", "publish-point"),
+    (PERSIST_BEFORE_ROOT_SWAP, "repro.core.pmoctree", "publish-point"),
+    (PERSIST_AFTER_ROOT_SWAP, "repro.core.pmoctree", "publish-point"),
+    (ROOTS_SWAP_MID, "repro.nvbm.arena", "publish-point"),
+    (MIGRATE_PRE_PUBLISH, "repro.parallel.partition", "publish-retire"),
+    (MIGRATE_MID_BATCH, "repro.parallel.partition", "publish-retire"),
+    (MIGRATE_PRE_RETIRE, "repro.parallel.partition", "publish-retire"),
+    (MIGRATE_RECOVER_MID, "repro.parallel.partition", "publish-retire"),
+    (REPLICA_BEFORE_PUBLISH, "repro.core.replication", "mutate-publish"),
+    (REPLICA_SHIP_BEFORE_SEND, "repro.core.replication", "protocol"),
+    (REPLICA_SHIP_AFTER_APPLY, "repro.core.replication", "protocol"),
+    (REPLICA_SHIP_BEFORE_ACK, "repro.core.replication", "protocol"),
+    (REPLICA_RESYNC_BEGIN, "repro.core.replication", "protocol"),
+):
+    _declare(_name, _module, _bracket)
+del _name, _module, _bracket
 
 
 def all_sites() -> FrozenSet[str]:
@@ -100,18 +163,28 @@ def is_known(name: str) -> bool:
     return name in DESCRIPTIONS
 
 
-def register(name: str, description: str = "ad-hoc site") -> str:
+def register(name: str, description: str = "ad-hoc site", *,
+             module: str = "", bracket: str = "mutate-publish") -> str:
     """Add a site at runtime (for tests and downstream extensions)."""
     if not name or not isinstance(name, str):
         raise ValueError(f"crash-site name must be a non-empty string: {name!r}")
     DESCRIPTIONS.setdefault(name, description)
+    METADATA.setdefault(name, SiteMeta(name=name,
+                                       description=DESCRIPTIONS[name],
+                                       module=module, bracket=bracket))
     return name
 
 
 def unregister(name: str) -> None:
     """Remove a runtime-registered site (tests cleaning up after themselves)."""
     DESCRIPTIONS.pop(name, None)
+    METADATA.pop(name, None)
 
 
 def describe(name: str) -> str:
     return DESCRIPTIONS.get(name, "<unregistered>")
+
+
+def meta(name: str) -> Optional[SiteMeta]:
+    """Static metadata for one site, or None when unregistered."""
+    return METADATA.get(name)

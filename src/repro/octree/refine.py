@@ -90,12 +90,14 @@ class RefinementEngine:
                 res.refined += 1
         fanout = morton.fanout(dim)
         for parent, n in votes.items():
-            if n == fanout and tree.exists(parent) and not tree.is_leaf(parent):
-                # Re-check: all children still leaves (none got refined above).
-                if all(tree.is_leaf(c) for c in morton.children_of(parent, dim)):
-                    tree.coarsen(parent)
-                    res.coarsened += 1
-                    new_leaves.append(parent)
+            # Re-check children are all still leaves (none refined above).
+            if n == fanout and tree.exists(parent) \
+                    and not tree.is_leaf(parent) \
+                    and all(tree.is_leaf(c)
+                            for c in morton.children_of(parent, dim)):
+                tree.coarsen(parent)
+                res.coarsened += 1
+                new_leaves.append(parent)
         if self.balance and (res.refined or res.coarsened):
             res.balance_refined = balance_tree(
                 tree, max_level=self.max_level,

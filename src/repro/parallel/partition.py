@@ -29,6 +29,8 @@ copies.  The registered crash sites (``migrate.pre_publish``,
 ``migrate.mid_batch``, ``migrate.pre_retire``) tear the protocol at each
 stage, and :func:`recover_migration` re-drives a published batch forward or
 rolls a partial publish back, never losing or duplicating an octant.
+Recovery itself exposes ``migrate.recover.mid`` so the sweep can lose power
+again mid-repair and prove both arms idempotent.
 """
 
 from __future__ import annotations
@@ -202,7 +204,8 @@ class MigrationRecovery:
     rolled_back: int = 0
 
 
-def recover_migration(state: MigrationState) -> MigrationRecovery:
+def recover_migration(state: MigrationState,
+                      injector=None) -> MigrationRecovery:
     """Repair a migration torn by a crash, from the journal alone.
 
     Publish-before-retire makes the decision local to each batch's state:
@@ -215,16 +218,23 @@ def recover_migration(state: MigrationState) -> MigrationRecovery:
       never retired anything, so it still owns the whole batch.
 
     Either way each octant ends in exactly one store and no payload is
-    altered.
+    altered.  Recovery is itself crash-consistent: a power loss mid-repair
+    (``migrate.recover.mid``, armed via ``injector``) leaves every batch
+    either fully repaired or untouched in the journal, so recovery simply
+    re-runs — both arms are idempotent.
     """
     rec = MigrationRecovery()
     for entry in state.log.entries:
         if entry.state == "published":
+            if injector is not None:
+                injector.site(sites.MIGRATE_RECOVER_MID)
             for loc in entry.locs:
                 state.stores[entry.src].pop(loc, None)
             entry.state = "retired"
             rec.redriven += 1
         elif entry.state == "pending":
+            if injector is not None:
+                injector.site(sites.MIGRATE_RECOVER_MID)
             for loc in entry.locs:
                 state.stores[entry.dst].pop(loc, None)
             entry.state = "rolled-back"

@@ -161,7 +161,7 @@ def edge_cut(tree: AdaptiveTree, assignment: Dict[int, int]) -> int:
 
     cut = 0
     for loc, rank in assignment.items():
-        for other, _axis, direction in face_neighbor_leaves(tree, loc):
+        for other, _axis, _direction in face_neighbor_leaves(tree, loc):
             if other in assignment and assignment[other] != rank:
                 cut += 1
     return cut // 2  # each crossing counted from both sides

@@ -1,0 +1,12 @@
+"""Deliberately-buggy mini-modules for the interprocedural analyzer tests.
+
+These files are **parsed, never imported**: ``analyze_paths`` builds a call
+graph from their source and the tests assert each detector fires with the
+right call-chain witness.  Each file plants exactly the bugs its name says
+(``clean.py`` plants none); function names are unique across the package so
+witness chains are unambiguous.
+"""
+
+from pathlib import Path
+
+FIXTURES_DIR = Path(__file__).parent

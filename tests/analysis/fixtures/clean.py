@@ -1,0 +1,17 @@
+"""No planted bugs: the canonical store → site → flush → publish bracket.
+Every detector must stay silent here (the golden negative)."""
+
+SLOT_PREV = 0
+
+
+def ok_store(tree, rec, h):
+    tree.nvbm.write_payload(h, rec)
+    tree.nvbm.write_child_slot(h, 0, h)
+
+
+def ok_persist(tree, injector, rec, h):
+    ok_store(tree, rec, h)
+    injector.site("persist.before_flush")
+    tree.nvbm.flush()
+    injector.site("persist.before_root_swap")
+    tree.nvbm.roots.set(SLOT_PREV, h)

@@ -1,0 +1,18 @@
+"""Planted bug: an NVBM store reaches a publish with no flush — and both
+the store and the publish live in callees, so only the interprocedural
+pass can see the pair."""
+
+SLOT_PREV = 0
+
+
+def mf_store(tree, rec, h):
+    tree.nvbm.write_payload(h, rec)
+
+
+def mf_commit(tree, h):
+    tree.nvbm.roots.set(SLOT_PREV, h)
+
+
+def mf_persist(tree, rec, h):
+    mf_store(tree, rec, h)
+    mf_commit(tree, h)  # BUG: no tree.nvbm.flush() before the commit

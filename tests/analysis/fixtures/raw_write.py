@@ -1,0 +1,17 @@
+"""Planted bugs: raw whole-record stores.  One without any pragma, one with
+a bare (reason-less) pragma; the reasoned one is the sanctioned form and
+must stay clean."""
+
+
+def rw_unannotated(tree, rec, h):
+    tree.nvbm.write_octant(h, rec)  # BUG: bypasses the field-granular API
+
+
+def rw_bare_pragma(tree, rec, h):
+    # pmlint: allow[raw-write]
+    tree.nvbm.write_octant(h, rec)  # BUG: pragma has no reason string
+
+
+def rw_reasoned(tree, rec, h):
+    # pmlint: allow[raw-write]: fixture — every field of h changes here
+    tree.nvbm.write_octant(h, rec)

@@ -1,0 +1,15 @@
+"""Planted bug: flushed once, stored again, published without the second
+flush — the double-flush-elision case a single dirty bit cannot catch."""
+
+SLOT_PREV = 0
+
+
+def sf_touch_up(tree, rec, h):
+    tree.nvbm.write_field(h, 8, rec)
+
+
+def sf_persist(tree, rec, h):
+    tree.nvbm.write_payload(h, rec)
+    tree.nvbm.flush()
+    sf_touch_up(tree, rec, h)  # BUG: re-dirties h after the flush
+    tree.nvbm.roots.set(SLOT_PREV, h)

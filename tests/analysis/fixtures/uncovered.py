@@ -1,0 +1,29 @@
+"""Planted coverage gaps: a mutate→publish window with no crash site in
+it, and a journal retire with no site on its path.  ``uc_covered`` and
+``uc_retire_covered`` carry a registered site and must be proven covered."""
+
+SLOT_PREV = 0
+
+
+def uc_uncovered(tree, rec, h):
+    tree.nvbm.write_payload(h, rec)
+    tree.nvbm.flush()
+    tree.nvbm.roots.set(SLOT_PREV, h)  # BUG: no injector.site in the window
+
+
+def uc_covered(tree, injector, rec, h):
+    tree.nvbm.write_payload(h, rec)
+    injector.site("persist.before_root_swap")
+    tree.nvbm.flush()
+    tree.nvbm.roots.set(SLOT_PREV, h)
+
+
+def uc_retire_uncovered(entry):
+    entry.published()
+    entry.retired()  # BUG: the sweep can never crash before this retire
+
+
+def uc_retire_covered(entry, injector):
+    entry.published()
+    injector.site("migrate.pre_retire")
+    entry.retired()

@@ -1,0 +1,17 @@
+"""Planted bug: a migration-journal entry is retired on a path with no
+publish evidence.  ``ur_retire_published`` shows the correct bracket and
+must stay clean."""
+
+
+def ur_retire_blind(entry):
+    entry.retired()  # BUG: never published
+
+
+def ur_drain(journal):
+    for entry in journal:
+        ur_retire_blind(entry)
+
+
+def ur_retire_published(entry):
+    entry.published()
+    entry.retired()  # fine: publish evidence on the same path

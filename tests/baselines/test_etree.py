@@ -93,7 +93,7 @@ def test_every_octant_access_is_page_io(clock, etree):
 
 
 def test_io_time_dwarfs_memory_time(clock, etree):
-    for leaf in list(etree.leaves()):
+    for _leaf in list(etree.leaves()):
         pass
     etree.refine(morton.ROOT_LOC)
     assert clock.category_ns(Category.IO) > 0

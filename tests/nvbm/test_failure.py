@@ -4,7 +4,7 @@ import warnings
 
 import pytest
 
-from repro.errors import SimulatedCrash
+from repro.errors import SimulatedCrash, UnknownCrashSiteError
 from repro.nvbm import sites
 from repro.nvbm.failure import (
     CrashPlan,
@@ -47,14 +47,34 @@ def test_disarm():
     assert inj.fired == []
 
 
-def test_arm_unknown_site_warns():
+def test_arm_unknown_site_raises_under_pytest():
+    # pytest sets PYTEST_CURRENT_TEST, so strict mode is the default here:
+    # a typo'd site name fails loudly instead of silently never firing
     inj = FailureInjector()
-    with pytest.warns(UnknownCrashSiteWarning, match="presist.begin"):
-        inj.arm("presist.begin")  # typo'd name: armed but can never fire
+    with pytest.raises(UnknownCrashSiteError, match="presist.begin"):
+        inj.arm("presist.begin")
+    assert inj.armed_sites == []  # nothing was armed
     # registered names arm silently
     with warnings.catch_warnings():
         warnings.simplefilter("error")
         inj.arm(sites.PERSIST_BEGIN)
+
+
+def test_arm_unknown_site_warns_when_not_strict(monkeypatch):
+    # library consumers outside pytest/analyze keep warn-only behaviour
+    monkeypatch.setenv("REPRO_STRICT_SITES", "0")
+    inj = FailureInjector()
+    with pytest.warns(UnknownCrashSiteWarning, match="presist.begin"):
+        inj.arm("presist.begin")  # typo'd name: armed but can never fire
+    assert inj.armed_sites == ["presist.begin"]
+
+
+def test_strict_sites_env_overrides(monkeypatch):
+    monkeypatch.delenv("PYTEST_CURRENT_TEST", raising=False)
+    monkeypatch.setenv("REPRO_STRICT_SITES", "1")
+    inj = FailureInjector()
+    with pytest.raises(UnknownCrashSiteError):
+        inj.arm("no.such.site")
 
 
 def test_registered_site_after_register_does_not_warn():

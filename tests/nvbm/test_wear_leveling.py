@@ -74,7 +74,7 @@ def test_behaves_like_allocator_property(ops):
 
 def _churn(arena, rounds=300, working_set=4):
     """Allocate/free a small working set repeatedly; return max slot wear."""
-    for r in range(rounds):
+    for _ in range(rounds):
         handles = [arena.new_octant(OctantRecord(loc=1)) for _ in range(working_set)]
         for h in handles:
             arena.free(h)

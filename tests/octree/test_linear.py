@@ -79,7 +79,7 @@ def test_split_ranges_cover_everything(quadtree):
     assert len(ranges) == 5
     assert ranges[0][0] == 0
     assert ranges[-1][1] == len(lin)
-    for (a, b), (c, d) in zip(ranges, ranges[1:]):
+    for (_a, b), (c, _d) in zip(ranges, ranges[1:]):
         assert b == c
     sizes = [b - a for a, b in ranges]
     assert max(sizes) - min(sizes) <= 1

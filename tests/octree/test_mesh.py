@@ -49,7 +49,7 @@ def test_elements_reference_valid_vertices(quadtree):
     quadtree.refine(morton.ROOT_LOC)
     mesh = extract_mesh(quadtree)
     valid = set(mesh.vertex_ids.values())
-    for loc, corners in mesh.elements:
+    for _loc, corners in mesh.elements:
         assert len(corners) == 4
         assert set(corners) <= valid
 

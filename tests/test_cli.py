@@ -118,3 +118,105 @@ def test_parser_requires_command():
 def test_bad_backend_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["simulate", "--backend", "magnetic-tape"])
+
+
+PLANTED_INTERPROCEDURAL = (
+    "SLOT_PREV = 0\n"
+    "\n"
+    "def plant_store(tree, rec, h):\n"
+    "    tree.nvbm.write_payload(h, rec)\n"
+    "\n"
+    "def plant_persist(tree, rec, h):\n"
+    "    plant_store(tree, rec, h)\n"
+    "    tree.nvbm.roots.set(SLOT_PREV, h)\n"
+)
+
+
+def test_analyze_interprocedural_flags_planted_bug(tmp_path, capsys):
+    bad = tmp_path / "planted.py"
+    bad.write_text(PLANTED_INTERPROCEDURAL)
+    assert main(["analyze", "--interprocedural", "--path", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "missing-flush" in out
+    # the witness chain names the frames the store flowed through
+    assert "plant_persist" in out and "plant_store" in out
+
+
+def test_analyze_deep_json_golden_snapshot(capsys):
+    """Clean-tree golden envelope: the deep analysis over the real source
+    must report exactly nothing, in the schema-versioned shape CI diffs."""
+    import json
+    import pathlib
+
+    baseline = pathlib.Path(__file__).parents[1] / "ANALYZE_BASELINE.json"
+    assert main(["analyze", "--interprocedural", "--coverage",
+                 "--baseline", str(baseline), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload == {
+        "schema": "repro-analyze/v1",
+        "ok": True,
+        "sections": {"interprocedural": [], "coverage": [], "baseline": []},
+        "counts": {"interprocedural": 0, "coverage": 0, "baseline": 0},
+    }
+
+
+def test_analyze_baseline_accepts_known_and_flags_drift(tmp_path, capsys):
+    import json
+
+    from repro.analysis import analyze_paths
+
+    bad = tmp_path / "planted.py"
+    bad.write_text(PLANTED_INTERPROCEDURAL)
+    fps = sorted({f.fingerprint()
+                  for f in analyze_paths([bad]).findings})
+    assert fps  # the plant fired
+
+    # new finding vs an empty baseline: fail
+    empty = tmp_path / "empty.json"
+    empty.write_text(json.dumps({"fingerprints": []}))
+    assert main(["analyze", "--interprocedural", "--path", str(bad),
+                 "--baseline", str(empty)]) == 1
+    assert "new" in capsys.readouterr().out
+
+    # the same finding accepted in the baseline: pass
+    known = tmp_path / "known.json"
+    known.write_text(json.dumps({"fingerprints": fps}))
+    assert main(["analyze", "--interprocedural", "--path", str(bad),
+                 "--baseline", str(known)]) == 0
+    assert "baseline: matches" in capsys.readouterr().out
+
+    # a stale entry (finding since fixed): fail until it is deleted
+    stale = tmp_path / "stale.json"
+    stale.write_text(json.dumps({"fingerprints": fps + ["gone//x.py//f"]}))
+    assert main(["analyze", "--interprocedural", "--path", str(bad),
+                 "--baseline", str(stale)]) == 1
+    assert "stale" in capsys.readouterr().out
+
+
+def test_analyze_metrics_export(tmp_path, capsys):
+    import json
+
+    bad = tmp_path / "planted.py"
+    bad.write_text(PLANTED_INTERPROCEDURAL)
+    out_file = tmp_path / "metrics.jsonl"
+    assert main(["analyze", "--interprocedural", "--path", str(bad),
+                 "--metrics-out", str(out_file)]) == 1
+    capsys.readouterr()
+    samples = [json.loads(line)
+               for line in out_file.read_text().splitlines()]
+    by_key = {(s["name"], tuple(sorted(s["labels"].items()))): s["value"]
+              for s in samples}
+    assert by_key[("analysis.findings.total",
+                   (("section", "interprocedural"),))] == 1
+    assert by_key[("analysis.findings",
+                   (("rule", "missing-flush"),
+                    ("section", "interprocedural")))] == 1
+
+
+def test_analyze_trace_strict_epochs(capsys):
+    assert main(["analyze", "--trace", "--strict-epochs",
+                 "--steps", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "ordering trace: clean" in out
+    assert "[strict-epochs]" in out
+    assert "epoch(s) opened+closed" in out
