@@ -511,6 +511,78 @@ def _migration_driver(site: str, max_steps: int, seed: int) -> SweepOutcome:
                         matched=matched)
 
 
+def _media_driver(site: str, max_steps: int, seed: int) -> SweepOutcome:
+    """media.*: crash inside the scrub/repair ladder, then restore.
+
+    One published record gets a planted *stuck* line, so the scrub must
+    walk the full repair ladder — rebuild from the replica (or a clean C0
+    copy), relocate to fresh slots, atomically republish, retire the bad
+    slot — with the site armed.  The media fault survives the power loss
+    (the device object is the surviving hardware), so the media-aware
+    restore must finish or redo the repair and land exactly on the
+    persisted payloads:
+
+    * ``media.repair.pre_publish`` — the old root is still published and
+      still points at the faulty record; recovery re-detects and re-repairs.
+    * ``media.repair.pre_retire`` — the repaired root is published; the
+      condemned slot leaks until GC but the tree is already clean.
+    * ``media.scrub.mid`` — the repair committed in full; recovery is a
+      plain restore.
+    """
+    from repro.core.recovery import scrub
+    from repro.core.replication import ReplicaStore, ship_delta
+    from repro.nvbm.device import LINES_PER_RECORD, MediaFaultModel
+    from repro.nvbm.pointers import index_of
+
+    rig = _Rig()
+    tree = rig.tree
+    for _ in range(2):
+        for leaf in list(tree.leaves()):
+            tree.refine(leaf)
+    tree.persist(transform=False)
+    persisted_sig = _signature(tree)
+    replica = ReplicaStore()
+    ship_delta(tree, replica)
+
+    root = rig.nvbm.roots.get(SLOT_PREV)
+    published = sorted(tree.reachable_from(root))
+    bad = published[seed % len(published)]
+    model = MediaFaultModel(seed=seed)
+    rig.nvbm.attach_fault_model(model)
+    model.plant_stuck(index_of(bad) * LINES_PER_RECORD)
+
+    rig.injector.reset_hits()
+    rig.injector.arm(site, at_hit=1)
+    fired = False
+    try:
+        scrub(tree, replica=replica)
+    except SimulatedCrash:
+        fired = True
+    if not fired:
+        return SweepOutcome(site=site, fired=False, recovered=None,
+                            violations=len(rig.tracker.violations),
+                            detail="scrub never visited the site")
+
+    rig.crash(seed)
+    rig.injector.disarm()
+    violations = len(rig.tracker.violations)
+    try:
+        restored = pm_restore(rig.dram, rig.nvbm, dim=2, config=rig.config,
+                              injector=rig.injector, replica=replica)
+        restored.check_invariants()
+    except ReproError as exc:
+        return SweepOutcome(site=site, fired=True, recovered=False,
+                            violations=violations,
+                            detail=f"recovery failed: {exc}")
+    if _signature(restored) != persisted_sig:
+        return SweepOutcome(
+            site=site, fired=True, recovered=False, violations=violations,
+            detail="restored state does not match the persisted version",
+        )
+    return SweepOutcome(site=site, fired=True, recovered=True,
+                        matched="last-persist", violations=violations)
+
+
 def _recover_driver(site: str, max_steps: int, seed: int) -> SweepOutcome:
     """migrate.recover.mid: lose power *again* during migration recovery.
 
@@ -628,6 +700,9 @@ _DRIVERS: Dict[str, Callable[[str, int, int], SweepOutcome]] = {
     site_registry.MIGRATE_MID_BATCH: _migration_driver,
     site_registry.MIGRATE_PRE_RETIRE: _migration_driver,
     site_registry.MIGRATE_RECOVER_MID: _recover_driver,
+    site_registry.MEDIA_REPAIR_PRE_PUBLISH: _media_driver,
+    site_registry.MEDIA_REPAIR_PRE_RETIRE: _media_driver,
+    site_registry.MEDIA_SCRUB_MID: _media_driver,
     site_registry.REPLICA_BEFORE_PUBLISH: _replica_driver,
     site_registry.REPLICA_SHIP_BEFORE_SEND: _protocol_driver,
     site_registry.REPLICA_SHIP_AFTER_APPLY: _protocol_driver,

@@ -385,7 +385,8 @@ def _cmd_chaos(args) -> int:
     from repro.harness.report import render_json
 
     report = run_chaos(trials=args.trials, seed=args.seed, steps=args.steps,
-                       break_acks=args.break_acks, only_trial=args.trial)
+                       break_acks=args.break_acks, only_trial=args.trial,
+                       media=args.media)
 
     if args.json:
         sections = {
@@ -569,6 +570,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--break-acks", action="store_true",
                    help="deliberately ignore protocol acks (harness "
                         "self-test: the run must fail)")
+    p.add_argument("--media", action="store_true",
+                   help="mix NVBM media-fault events (rot/stuck lines, "
+                        "peer-loss-then-rot) into the schedules")
     p.add_argument("--json", action="store_true",
                    help="emit one machine-readable JSON report")
     p.set_defaults(func=_cmd_chaos)

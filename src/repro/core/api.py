@@ -43,14 +43,19 @@ def pm_persistent(tree: PMOctree, transform: bool = True) -> int:
 
 def pm_restore(dram: MemoryArena, nvbm: MemoryArena, dim: int = 2,
                config: Optional[PMOctreeConfig] = None,
-               injector: Optional[FailureInjector] = None) -> PMOctree:
+               injector: Optional[FailureInjector] = None,
+               replica=None, transport=None) -> PMOctree:
     """Restore a PM-octree from the NVBM arena's persistent version.
 
     Use after a crash/restart on the same node: the NVBM arena object is the
-    surviving device; DRAM contents are assumed lost.
+    surviving device; DRAM contents are assumed lost.  ``replica`` (and an
+    optional ``transport`` to charge the fetches through) lets the restore
+    traversal's media-repair ladder rebuild records whose NVBM lines went
+    bad — see :func:`repro.core.recovery.scrub`.
     """
     return attach_and_restore(dram, nvbm, dim=dim, config=config,
-                              injector=injector)
+                              injector=injector, replica=replica,
+                              transport=transport)
 
 
 def pm_delete(tree: PMOctree) -> None:

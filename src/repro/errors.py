@@ -49,6 +49,64 @@ class UnknownCrashSiteError(ReproError):
     """
 
 
+class MediaError(ReproError):
+    """An integrity check failed while reading a non-volatile record.
+
+    The base class covers *detected* corruption: a record whose sealed CRC
+    no longer matches its bytes.  ``kind`` distinguishes the failure mode
+    (``"crc"`` here; the device-level subclass adds ``"rot"``, ``"wear"``,
+    ``"stuck"`` and ``"transient"``).  ``slot`` is the record index inside
+    the arena and ``lines`` the global cache-line ids implicated, so the
+    repair ladder knows exactly what to retire.
+    """
+
+    def __init__(self, arena: str, slot: int, kind: str,
+                 lines=(), detail: str = ""):
+        self.arena = arena
+        self.slot = slot
+        self.kind = kind
+        self.lines = tuple(lines)
+        msg = f"{arena}: media error ({kind}) on record slot {slot}"
+        if self.lines:
+            msg += f", line(s) {list(self.lines)}"
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
+
+
+class UncorrectableError(MediaError):
+    """The medium returned an uncorrectable error on read.
+
+    Raised by :class:`repro.nvbm.device.MediaFaultModel` when a read
+    touches a line that has rotted (``"rot"``), exceeded its endurance
+    budget (``"wear"``), is stuck (``"stuck"``), or suffered a one-off
+    transient upset (``"transient"`` — a bounded re-read clears it).
+    """
+
+
+class MediaUnrepairableError(MediaError):
+    """The repair ladder ran out of redundancy.
+
+    Carries the locational codes of the subtree roots that could not be
+    rebuilt; :func:`repro.core.recovery.recover_host` converts this into a
+    typed :class:`~repro.core.recovery.Degraded` outcome rather than
+    letting it escape as a stack trace.
+    """
+
+    def __init__(self, arena: str, lost_locs):
+        self.lost_locs = tuple(sorted(lost_locs))
+        ReproError.__init__(
+            self,
+            f"{arena}: {len(self.lost_locs)} octant subtree(s) unrepairable "
+            f"(no replica/redundancy left): "
+            f"{[hex(loc) for loc in self.lost_locs]}"
+        )
+        self.arena = arena
+        self.kind = "unrepairable"
+        self.slot = -1
+        self.lines = ()
+
+
 class RecoveryError(ReproError):
     """Recovery could not produce a consistent octree (e.g. lost replica)."""
 

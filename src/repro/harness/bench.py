@@ -64,6 +64,8 @@ GATES: List[Dict[str, Any]] = [
     {"metric": "droplet.flushes", "tolerance": 0.10, "direction": "lower"},
     {"metric": "droplet.cow_copies", "tolerance": 0.15, "direction": "lower"},
     {"metric": "droplet.wear_max", "tolerance": 0.25, "direction": "lower"},
+    {"metric": "droplet.wear_headroom", "tolerance": 0.01,
+     "direction": "higher"},
     {"metric": "droplet.overlap_ratio_min", "tolerance": 0.05,
      "direction": "higher"},
     {"metric": "recovery.local_restore_ns", "tolerance": 0.15,
@@ -78,9 +80,14 @@ GATES: List[Dict[str, Any]] = [
      "direction": "lower"},
     {"metric": "partition.bytes_moved_per_step", "tolerance": 0.10,
      "direction": "lower"},
+    {"metric": "media.nofault_makespan_ratio", "tolerance": 0.01,
+     "direction": "lower"},
+    {"metric": "media.scrub_clean_ns", "tolerance": 0.15,
+     "direction": "lower"},
+    {"metric": "media.repair_ns", "tolerance": 0.25, "direction": "lower"},
 ]
 
-SUITE = "droplet+recovery+replication+partition"
+SUITE = "droplet+recovery+replication+partition+media"
 
 
 def _rig(seed: int = 2017, dram_budget: Optional[int] = None):
@@ -144,6 +151,7 @@ def bench_droplet(steps: int = 12, max_level: int = 5,
         "droplet.persists": m.total("pm.persists"),
         "droplet.octants_reclaimed": m.total("pm.octants_reclaimed"),
         "droplet.wear_max": float(nvbm.device.wear_max()),
+        "droplet.wear_headroom": nvbm.device.wear_headroom(),
         "droplet.overlap_ratio_min": min(overlaps) if overlaps else 0.0,
         "droplet.trace_spans": float(len(obs.tracer.spans)),
     }
@@ -260,6 +268,78 @@ def bench_partition(steps: int = 8, nranks: int = 8,
     }
 
 
+def bench_media(steps: int = 6, max_level: int = 4) -> Dict[str, float]:
+    """Media-integrity costs: the no-fault path must be free, repair is not.
+
+    Three seeded measurements:
+
+    * **no-fault overhead** — the droplet workload run twice, once without
+      and once with a (quiescent) :class:`MediaFaultModel` attached.  The
+      makespan ratio is gated at 1.0: CRC sealing and fault checks ride
+      along with reads the workload already pays for, so arming integrity
+      on healthy media costs exactly nothing.
+    * **clean scrub** — a full read-verify pass over the published tree
+      with nothing wrong; its clock cost is the background-scrub budget.
+    * **repair** — rot and stuck lines planted on published records, then
+      a scrub that drives the whole ladder (retry, replica rebuild,
+      relocate, republish, retire).  The clock delta is the repair bill.
+    """
+    from repro.core.pmoctree import SLOT_PREV
+    from repro.core.recovery import scrub
+    from repro.nvbm.device import LINES_PER_RECORD, MediaFaultModel
+    from repro.nvbm.pointers import index_of
+
+    def droplet(quiet_model: bool):
+        clock, dram, nvbm, tree = _rig()
+        if quiet_model:
+            nvbm.attach_fault_model(MediaFaultModel(seed=11))
+        solver = SolverConfig(dim=2, min_level=2, max_level=max_level,
+                              dt=0.01)
+        sim = DropletSimulation(tree, solver, clock=clock,
+                                persistence=lambda s: s.tree.persist())
+        sim.run(steps)
+        return clock, nvbm, tree
+
+    clock_ref, _, _ = droplet(False)
+    clock, nvbm, tree = droplet(True)
+    ratio = clock.now_ns / clock_ref.now_ns
+
+    tree.persist()  # drain the write-back cache so scrub reads the medium
+    t0 = clock.now_ns
+    clean = scrub(tree)
+    scrub_clean_ns = clock.now_ns - t0
+
+    replica = ReplicaStore()
+    ship_delta(tree, replica)
+    model = nvbm.device.fault_model
+    root = nvbm.roots.get(SLOT_PREV)
+    published = sorted(tree.reachable_from(root))
+    victims = published[:: max(1, len(published) // 6)][:6]
+    for i, handle in enumerate(victims):
+        gline = index_of(handle) * LINES_PER_RECORD + (i % LINES_PER_RECORD)
+        if i % 2:
+            model.plant_stuck(gline)
+        else:
+            model.plant_rot(gline)
+    t0 = clock.now_ns
+    repair = scrub(tree, replica=replica)
+    repair_ns = clock.now_ns - t0
+
+    return {
+        "media.nofault_makespan_ratio": ratio,
+        "media.scrub_clean_ns": scrub_clean_ns,
+        "media.scrub_scanned": float(clean.scanned),
+        "media.repair_ns": repair_ns,
+        "media.ue_detected": float(repair.detected_total),
+        "media.repaired": float(repair.repaired_retry
+                                + repair.repaired_local
+                                + repair.repaired_replica),
+        "media.relocated": float(repair.relocated),
+        "media.retired_lines": float(repair.retired_lines),
+        "media.unrepaired": float(len(repair.unrepaired)),
+    }
+
+
 def run_bench(pr: int = 0) -> Dict[str, Any]:
     """Run the pinned suite and return the versioned envelope."""
     metrics: Dict[str, float] = {}
@@ -267,6 +347,7 @@ def run_bench(pr: int = 0) -> Dict[str, Any]:
     metrics.update(bench_recovery())
     metrics.update(bench_replication())
     metrics.update(bench_partition())
+    metrics.update(bench_media())
     return bench_envelope(pr=pr, suite=SUITE, metrics=metrics, gates=GATES)
 
 

@@ -32,9 +32,12 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.config import PMOctreeConfig, SolverConfig, TITAN
 from repro.core.api import pm_create
-from repro.core.recovery import Degraded, recover_host, reprotect
+from repro.core.pmoctree import SLOT_PREV
+from repro.core.recovery import Degraded, recover_host, reprotect, scrub
 from repro.core.replication import RetryPolicy
 from repro.errors import ReplicationTimeoutError, ReproError
+from repro.nvbm.device import LINES_PER_RECORD, MediaFaultModel
+from repro.nvbm.pointers import NULL_HANDLE, index_of, is_nvbm
 from repro.parallel.cluster import SimulatedCluster
 from repro.parallel.detector import DetectorConfig, FailureDetector
 from repro.parallel.faults import LinkFaults, NetworkFaultPlan
@@ -48,6 +51,16 @@ _EVENT_KINDS: Tuple[Tuple[str, int], ...] = (
     ("partition", 3),
     ("loss_burst", 3),
     ("kill_migration", 2),
+)
+
+#: Extra kinds mixed in by ``--media`` runs: a published NVBM line rots or
+#: sticks and the scrub/repair ladder must handle it — including the
+#: no-redundancy case, where the protecting peer is killed *first* and the
+#: trial must end ``degraded``, never silently corrupt.
+_MEDIA_EVENT_KINDS: Tuple[Tuple[str, int], ...] = (
+    ("media_rot", 3),
+    ("media_stuck", 3),
+    ("kill_peer_then_rot", 2),
 )
 
 
@@ -90,6 +103,7 @@ class ChaosSchedule:
     steps: int
     faults: LinkFaults
     events: Tuple[ChaosEvent, ...]
+    media: bool = False      #: schedule drawn from the media-fault kind pool
 
     def describe(self) -> str:
         evs = ", ".join(e.describe() for e in self.events) or "none"
@@ -98,8 +112,14 @@ class ChaosSchedule:
                 f"delay={self.faults.delay:.3f}) events=[{evs}]")
 
 
-def derive_schedule(seed: int, trial: int, steps: int = 10) -> ChaosSchedule:
-    """The schedule for one trial — pure function of ``(seed, trial)``."""
+def derive_schedule(seed: int, trial: int, steps: int = 10,
+                    media: bool = False) -> ChaosSchedule:
+    """The schedule for one trial — pure function of ``(seed, trial)``.
+
+    ``media`` widens the kind pool with :data:`_MEDIA_EVENT_KINDS`; with it
+    off the function is byte-for-byte the pre-media derivation, so existing
+    seeded reproducers stay valid.
+    """
     rng = random.Random(f"chaos:{seed}:{trial}")
     faults = LinkFaults(
         drop=round(rng.uniform(0.0, 0.25), 3),
@@ -107,8 +127,9 @@ def derive_schedule(seed: int, trial: int, steps: int = 10) -> ChaosSchedule:
         delay=round(rng.uniform(0.0, 0.30), 3),
         delay_ns=20_000.0,
     )
-    kinds = [k for k, _ in _EVENT_KINDS]
-    weights = [w for _, w in _EVENT_KINDS]
+    pool = _EVENT_KINDS + _MEDIA_EVENT_KINDS if media else _EVENT_KINDS
+    kinds = [k for k, _ in pool]
+    weights = [w for _, w in pool]
     events: List[ChaosEvent] = []
     # Leave quiet steps at the tail so post-recovery re-replication has a
     # fault-free-ish window to converge in before the end-of-trial check.
@@ -126,10 +147,14 @@ def derive_schedule(seed: int, trial: int, steps: int = 10) -> ChaosSchedule:
             from repro.nvbm import sites as site_registry
 
             ev.site = rng.choice(site_registry.MIGRATE_SITES)
+        elif kind in ("media_rot", "media_stuck", "kill_peer_then_rot"):
+            # drop doubles as the deterministic victim selector: the event
+            # targets published record floor(drop * n) of the sorted set
+            ev.drop = round(rng.random(), 3)
         events.append(ev)
     events.sort(key=lambda e: (e.step, e.kind))
     return ChaosSchedule(seed=seed, trial=trial, steps=steps,
-                         faults=faults, events=tuple(events))
+                         faults=faults, events=tuple(events), media=media)
 
 
 @dataclass
@@ -395,9 +420,78 @@ def run_trial(schedule: ChaosSchedule, break_acks: bool = False,
             del st.history[idx + 1:]
             st.last_acked_idx = min(st.last_acked_idx, idx)
 
+    def media_model() -> MediaFaultModel:
+        """The current host arena's fault model (attached on first use)."""
+        dev = cluster.ranks[st.host_rank].resources["nvbm"].device
+        if dev.fault_model is None:
+            dev.attach_fault_model(MediaFaultModel(
+                seed=schedule.seed * 7919 + schedule.trial))
+        return dev.fault_model
+
+    def pick_victim(ev: ChaosEvent) -> Tuple[Optional[int], int]:
+        """Deterministic victim: a published record and its first line.
+
+        ``kill_peer_then_rot`` always condemns the published *root* — an
+        internal record the local clean-leaf rung can never rebuild, so
+        with the replica dead the only correct outcome is degradation.
+        """
+        nvbm = cluster.ranks[st.host_rank].resources["nvbm"]
+        root = nvbm.roots.get(SLOT_PREV)
+        if root == NULL_HANDLE or not is_nvbm(root):
+            return None, 0
+        if ev.kind == "kill_peer_then_rot":
+            return root, index_of(root) * LINES_PER_RECORD
+        published = sorted(st.tree.reachable_from(root))
+        target = published[int(ev.drop * len(published)) % len(published)]
+        return target, index_of(target) * LINES_PER_RECORD
+
+    def apply_media_fault(ev: ChaosEvent, step: int) -> None:
+        before = _signature(st.tree)
+        if ev.kind == "kill_peer_then_rot" and st.replica_peer is not None \
+                and cluster.ranks[st.replica_peer].alive:
+            cluster.kill_node(cluster.ranks[st.replica_peer].node)
+            st.session = None
+            st.replica_store = None
+            st.replica_peer = None
+            st.tree.replicator = None
+            st.tree.replica = None
+        target, gline = pick_victim(ev)
+        if target is None:
+            return  # nothing published yet; the fault has nothing to hit
+        model = media_model()
+        if ev.kind == "media_stuck":
+            model.plant_stuck(gline)
+        else:
+            model.plant_rot(gline)
+        report = scrub(st.tree, replica=st.replica_store)
+        if report.unrepaired:
+            if st.replica_store is not None:
+                result.violations.append(
+                    f"{ev.kind}: media fault unrepaired despite a live "
+                    f"replica: locs {[hex(loc) for loc in report.unrepaired]}")
+            else:
+                # graceful degradation: the loss is declared, never silent
+                st.degraded = Degraded(
+                    reason=f"NVBM media fault at step {step} with no "
+                           f"replica left: {len(report.unrepaired)} "
+                           f"subtree(s) unreadable",
+                    lost_locs=report.unrepaired)
+            return
+        if _signature(st.tree) != before:
+            result.violations.append(
+                f"{ev.kind}: media repair changed payload bytes")
+            return
+        try:
+            st.tree.check_invariants()
+        except ReproError as exc:
+            result.violations.append(
+                f"{ev.kind}: tree inconsistent after media repair: {exc}")
+
     def apply_event(ev: ChaosEvent, step: int) -> None:
         result.events_applied.append(ev.describe())
-        if ev.kind in ("kill_host", "kill_both"):
+        if ev.kind in ("media_rot", "media_stuck", "kill_peer_then_rot"):
+            apply_media_fault(ev, step)
+        elif ev.kind in ("kill_host", "kill_both"):
             if ev.kind == "kill_both" and st.replica_peer is not None \
                     and cluster.ranks[st.replica_peer].alive:
                 cluster.kill_node(cluster.ranks[st.replica_peer].node)
@@ -582,15 +676,17 @@ class ChaosReport:
 
 def run_chaos(trials: int = 25, seed: int = 0, steps: int = 10,
               break_acks: bool = False,
-              only_trial: Optional[int] = None) -> ChaosReport:
+              only_trial: Optional[int] = None,
+              media: bool = False) -> ChaosReport:
     """Run ``trials`` seeded trials; shrink the first failure found.
 
-    ``only_trial`` replays a single trial index (the reproducer path).
+    ``only_trial`` replays a single trial index (the reproducer path);
+    ``media`` mixes NVBM media-fault events into the schedules.
     """
     report = ChaosReport(seed=seed, trials=[], break_acks=break_acks)
     indices = [only_trial] if only_trial is not None else range(trials)
     for t in indices:
-        schedule = derive_schedule(seed, t, steps=steps)
+        schedule = derive_schedule(seed, t, steps=steps, media=media)
         result = run_trial(schedule, break_acks=break_acks)
         report.trials.append(result)
         if not result.ok and report.reproducer is None:
@@ -599,6 +695,8 @@ def run_chaos(trials: int = 25, seed: int = 0, steps: int = 10,
                    f"--steps {steps}")
             if break_acks:
                 cmd += " --break-acks"
+            if media:
+                cmd += " --media"
             report.reproducer = {
                 "seed": seed,
                 "trial": t,

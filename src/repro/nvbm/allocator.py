@@ -16,7 +16,7 @@ measures the difference.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Iterator, List
+from typing import Deque, Iterator, List, Set
 
 import numpy as np
 
@@ -39,26 +39,35 @@ class RecordAllocator:
         self._bump = 0
         self._free: List[int] = []
         self._allocated = np.zeros(capacity, dtype=bool)
+        self._retired: Set[int] = set()
 
     @property
     def used(self) -> int:
         """Number of live (allocated) record slots."""
-        return self._bump - len(self._free)
+        return self._bump - len(self._free) - len(self._retired)
+
+    @property
+    def retired(self) -> int:
+        """Number of slots permanently taken out of rotation (bad media)."""
+        return len(self._retired)
 
     @property
     def free_fraction(self) -> float:
         """Fraction of total capacity still available (drives thresholds)."""
-        return 1.0 - self.used / self.capacity
+        return 1.0 - (self.used + len(self._retired)) / self.capacity
 
     def alloc(self) -> int:
         """Return a fresh record index; raise OutOfMemoryError when full."""
-        if self._free:
-            idx = self._free.pop()
-        elif self._bump < self.capacity:
-            idx = self._bump
-            self._bump += 1
-        else:
-            raise OutOfMemoryError(self.name, self.capacity)
+        while True:
+            if self._free:
+                idx = self._free.pop()
+            elif self._bump < self.capacity:
+                idx = self._bump
+                self._bump += 1
+            else:
+                raise OutOfMemoryError(self.name, self.capacity)
+            if idx not in self._retired:
+                break
         self._allocated[idx] = True
         return idx
 
@@ -67,6 +76,20 @@ class RecordAllocator:
         self._validate(index)
         self._allocated[index] = False
         self._free.append(index)
+
+    def retire(self, index: int) -> None:
+        """Permanently remove a slot whose media went bad.
+
+        The slot is deallocated but *never* recycled: it joins the retired
+        set that every alloc path skips.  Capacity shrinks accordingly
+        (``free_fraction`` treats retired slots as spent).
+        """
+        self._validate(index)
+        self._allocated[index] = False
+        self._retired.add(index)
+
+    def is_retired(self, index: int) -> bool:
+        return index in self._retired
 
     def is_allocated(self, index: int) -> bool:
         return 0 <= index < self.capacity and bool(self._allocated[index])
@@ -86,6 +109,7 @@ class RecordAllocator:
         self._bump = 0
         self._free.clear()
         self._allocated[:] = False
+        self._retired.clear()
 
 
 class WearLevelingAllocator(RecordAllocator):
@@ -105,13 +129,16 @@ class WearLevelingAllocator(RecordAllocator):
 
     def alloc(self) -> int:
         # prefer never-used slots first: they have zero wear by definition
-        if self._bump < self.capacity:
-            idx = self._bump
-            self._bump += 1
-        elif self._fifo:
-            idx = self._fifo.popleft()
-        else:
-            raise OutOfMemoryError(self.name, self.capacity)
+        while True:
+            if self._bump < self.capacity:
+                idx = self._bump
+                self._bump += 1
+            elif self._fifo:
+                idx = self._fifo.popleft()
+            else:
+                raise OutOfMemoryError(self.name, self.capacity)
+            if idx not in self._retired:
+                break
         self._allocated[idx] = True
         return idx
 

@@ -29,7 +29,7 @@ from typing import Dict, Iterator, Optional
 import numpy as np
 
 from repro.config import CACHE_LINE_SIZE, OCTANT_RECORD_SIZE, DeviceSpec
-from repro.errors import ConsistencyError, InvalidHandleError
+from repro.errors import ConsistencyError, InvalidHandleError, MediaError
 from repro.nvbm.allocator import RecordAllocator
 from repro.nvbm.clock import SimClock
 from repro.nvbm.device import MemoryDevice, lines_spanned
@@ -43,6 +43,7 @@ from repro.nvbm.records import (
     pack_handles,
     pack_payload,
     pack_record,
+    record_crc,
     unpack_epoch,
     unpack_payload,
     unpack_record,
@@ -148,6 +149,14 @@ class MemoryArena:
             self.allocator = RecordAllocator(capacity_octants, name=self.name)
         self._backing: Dict[int, bytes] = {}
         self._cache: Dict[int, bytes] = {}
+        #: per-record CRC seal, kept *out-of-band* (idx -> CRC32 over the
+        #: record bytes) the way a DIMM keeps ECC metadata in extra device
+        #: bits: the byte stream an application stores is exactly what the
+        #: medium holds, so the per-line crash-tear model stays honest.
+        #: Sealing happens at :meth:`flush` (the only point the bytes are
+        #: known durable); a crash voids the seal of anything that was
+        #: dirty — torn records carry no integrity claim and are left to GC.
+        self._sealed: Dict[int, int] = {}
         #: per-record bitmask of *dirty* cache lines (non-volatile arenas
         #: only).  A full-record store dirties every line; a field store
         #: dirties only the lines it spans — the crash model tears exactly
@@ -212,14 +221,68 @@ class MemoryArena:
         self._backing.pop(idx, None)
         self._cache.pop(idx, None)
         self._dirty_lines.pop(idx, None)
+        self._sealed.pop(idx, None)
+
+    def retire(self, handle: int) -> None:
+        """Release a record slot *and* take its media out of rotation.
+
+        Used by the repair ladder when a slot's lines are stuck or worn out:
+        the slot is deallocated like :meth:`free` but the allocator's
+        retired-set guarantees it is never handed out again.
+        """
+        idx = self._check(handle)
+        if self.tracer is not None:
+            self.tracer.on_free(handle)
+        if self._m_frees is not None:
+            self._m_frees.inc()
+        self.allocator.retire(idx)
+        self._backing.pop(idx, None)
+        self._cache.pop(idx, None)
+        self._dirty_lines.pop(idx, None)
+        self._sealed.pop(idx, None)
+
+    def attach_fault_model(self, model) -> None:
+        """Arm a :class:`repro.nvbm.device.MediaFaultModel` on this arena."""
+        self.device.attach_fault_model(model)
+
+    def _verify_media(self, idx: int, line0: int, nlines: int,
+                      data: bytes) -> None:
+        """Media-fault + CRC checks for a metered read served from backing.
+
+        Verification itself charges nothing (it models the DIMM's per-line
+        ECC riding along with the read); only the faults it *surfaces* cost
+        anything, via the repair ladder's retries and rebuild traffic.
+        """
+        dev = self.device
+        if dev._unmetered:
+            return
+        if dev.fault_model is not None:
+            dev.check_media(idx, line0, nlines)
+        crc = self._sealed.get(idx)
+        if crc is not None and record_crc(data) != crc:
+            base = idx * _LINES_PER_RECORD
+            raise MediaError(
+                self.name, idx, "crc",
+                lines=tuple(range(base, base + _LINES_PER_RECORD)),
+                detail="sealed record failed CRC verification",
+            )
 
     def read(self, handle: int) -> bytes:
-        """Load a record, read-your-writes through the cache."""
+        """Load a record, read-your-writes through the cache.
+
+        A read served by the *backing store* (the medium, not the volatile
+        write-back cache) passes through media-fault and CRC verification;
+        see :meth:`_verify_media`.
+        """
         idx = self._check(handle)
         self.device.on_read(OCTANT_RECORD_SIZE)
         data = self._cache.get(idx)
         if data is None:
             data = self._backing.get(idx)
+            if data is not None and (
+                self.device.fault_model is not None or idx in self._sealed
+            ):
+                self._verify_media(idx, 0, _LINES_PER_RECORD, data)
         if data is None:
             raise ConsistencyError(
                 f"{self.name}: handle {handle:#x} allocated but never written "
@@ -264,10 +327,28 @@ class MemoryArena:
 
     def read_field(self, handle: int, offset: int, size: int) -> bytes:
         """Load ``size`` bytes at ``offset`` of a record, charging only the
-        cache lines the span touches (read-your-writes through the cache)."""
+        cache lines the span touches (read-your-writes through the cache).
+
+        A backing-served field read checks media faults on the spanned
+        lines and CRC-verifies the *covering record* (the CRC's unit of
+        protection is the whole 128-byte record)."""
         idx = self._check(handle)
-        self.device.on_read(size, lines=lines_spanned(offset, size))
-        return self._base_bytes(idx, handle)[offset:offset + size]
+        nlines = lines_spanned(offset, size)
+        self.device.on_read(size, lines=nlines)
+        data = self._cache.get(idx)
+        if data is None:
+            data = self._backing.get(idx)
+            if data is not None and (
+                self.device.fault_model is not None or idx in self._sealed
+            ):
+                self._verify_media(idx, offset // CACHE_LINE_SIZE,
+                                   nlines, data)
+        if data is None:
+            raise ConsistencyError(
+                f"{self.name}: handle {handle:#x} allocated but never written "
+                "(field access needs an existing record)"
+            )
+        return data[offset:offset + size]
 
     def write_field(self, handle: int, offset: int, data: bytes) -> None:
         """Store a field in place; on NVBM only the spanned lines turn dirty.
@@ -286,7 +367,8 @@ class MemoryArena:
         base = self._base_bytes(idx, handle)
         merged = base[:offset] + data + base[offset + size:]
         self.device.on_write(size, slot=idx,
-                             lines=lines_spanned(offset, size))
+                             lines=lines_spanned(offset, size),
+                             line0=offset // CACHE_LINE_SIZE)
         if self.tracer is not None:
             self.tracer.on_store(handle, cached=not self.spec.volatile)
         if self._m_stores is not None:
@@ -356,7 +438,13 @@ class MemoryArena:
         return len(self._cache)
 
     def flush(self) -> None:
-        """Persist every dirty cached record (persist-point fence)."""
+        """Persist every dirty cached record (persist-point fence).
+
+        On a non-volatile arena this is also the *sealing* point: every
+        record reaching the medium gets a CRC stamped into the out-of-band
+        seal table.  Only a completed flush seals — bytes torn onto the
+        medium by a crash carry no integrity claim.
+        """
         self.device.clock.advance(FENCE_NS, self.device._category)
         if self.tracer is not None:
             self.tracer.on_flush(
@@ -366,6 +454,9 @@ class MemoryArena:
             self._m_flush_calls.inc()
             self._m_flush_records.inc(len(self._cache))
         self._backing.update(self._cache)
+        if not self.spec.volatile:
+            for idx, data in self._cache.items():
+                self._sealed[idx] = record_crc(data)
         self._cache.clear()
         self._dirty_lines.clear()
 
@@ -377,10 +468,15 @@ class MemoryArena:
             self._backing.clear()
             self._cache.clear()
             self.allocator.reset()
+            self._sealed.clear()
             self.roots._slots.clear()
             return
         rng = rng or np.random.default_rng()
         for idx, data in self._cache.items():
+            # a dirty record's on-medium bytes are now an unordered merge of
+            # old and new lines — whatever seal the old bytes carried no
+            # longer describes what is actually stored
+            self._sealed.pop(idx, None)
             old = self._backing.get(idx, b"\x00" * OCTANT_RECORD_SIZE)
             # only *dirty* lines are in flight; clean cached lines already
             # equal the backing store, so a partial store can tear at most

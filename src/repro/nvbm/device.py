@@ -8,14 +8,21 @@ once per cache line touched, which is how a CPU actually issues the traffic.
 
 from __future__ import annotations
 
+import math
+import zlib
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Dict, Iterator, Optional, Set
 
 import numpy as np
 
-from repro.config import CACHE_LINE_SIZE, DeviceSpec
+from repro.config import CACHE_LINE_SIZE, OCTANT_RECORD_SIZE, DeviceSpec
+from repro.errors import UncorrectableError
 from repro.nvbm.clock import Category, SimClock
+
+#: Cache lines per octant record — wear and media faults are tracked at this
+#: granularity (a *global line id* is ``slot * LINES_PER_RECORD + line``).
+LINES_PER_RECORD = OCTANT_RECORD_SIZE // CACHE_LINE_SIZE
 
 
 def lines_spanned(offset: int, nbytes: int) -> int:
@@ -58,8 +65,103 @@ class DeviceStats:
         )
 
 
+class MediaFaultModel:
+    """Deterministic, seeded model of NVBM media faults surfacing on read.
+
+    The medium itself is no longer assumed perfect: reads of a cache line
+    can return an *uncorrectable error* (UE) — the DIMM's internal ECC
+    detected corruption it could not fix.  Four mechanisms are modelled,
+    each driven purely by the simulated clock and a seeded hash (no
+    wall-clock, no ambient ``random``), so a given (seed, access sequence)
+    always produces the same faults:
+
+    ``stuck``
+        A line from a chaos-supplied plan (:meth:`plant_stuck`) fails every
+        read until the slot is retired.  Rewrites do not help.
+    ``rot``
+        Background bit-rot.  Each line gets a per-generation exponential
+        age-to-failure deadline drawn from ``rot_mtbf_ns``; once the sim
+        clock passes it, reads fail until the line is rewritten (a write
+        refreshes the cells and redraws the deadline).  Chaos can also
+        plant an immediate rot (:meth:`plant_rot`).
+    ``wear``
+        Endurance exhaustion.  Each line draws a deterministic write-count
+        limit around ``wear_fraction * spec.endurance_writes``; once its
+        tracked wear crosses the limit, reads fail permanently — the line
+        must be retired.
+    ``transient``
+        A one-off upset with probability ``transient_rate`` per read; the
+        next read of the same line succeeds (bounded re-read clears it).
+
+    All mechanisms default *off* (rate/fraction 0.0 and nothing planted);
+    a constructed-but-idle model injects nothing.
+    """
+
+    def __init__(self, seed: int, rot_mtbf_ns: float = 0.0,
+                 wear_fraction: float = 0.0, transient_rate: float = 0.0):
+        self.seed = int(seed)
+        self.rot_mtbf_ns = float(rot_mtbf_ns)
+        self.wear_fraction = float(wear_fraction)
+        self.transient_rate = float(transient_rate)
+        self._stuck: Set[int] = set()
+        self._rotted: Set[int] = set()   # chaos-planted, cleared by rewrite
+        self._gen: Dict[int, int] = {}   # rewrite generation per line
+        self._born_ns: Dict[int, float] = {}
+        self._reads: Dict[int, int] = {}
+        self._endurance = 0
+        self._attach_ns = 0.0
+
+    def _u(self, tag: str, *ints) -> float:
+        """Deterministic uniform in [0, 1) from the seed and integer keys."""
+        key = f"{tag}:{self.seed}:" + ":".join(str(i) for i in ints)
+        return zlib.crc32(key.encode("ascii")) / 2**32
+
+    # -- chaos plan hooks --------------------------------------------------
+
+    def plant_stuck(self, gline: int) -> None:
+        """Mark a global line as stuck: every read fails until retirement."""
+        self._stuck.add(int(gline))
+
+    def plant_rot(self, gline: int) -> None:
+        """Rot a global line immediately (cleared by the next rewrite)."""
+        self._rotted.add(int(gline))
+
+    # -- device callbacks --------------------------------------------------
+
+    def note_write(self, gline: int, now_ns: float) -> None:
+        """A metered write refreshed this line's cells."""
+        self._rotted.discard(gline)
+        self._gen[gline] = self._gen.get(gline, 0) + 1
+        self._born_ns[gline] = now_ns
+
+    def check(self, gline: int, now_ns: float, wear: int) -> Optional[str]:
+        """Return the fault kind a read of ``gline`` hits now, or ``None``."""
+        if gline in self._stuck:
+            return "stuck"
+        if gline in self._rotted:
+            return "rot"
+        if self.wear_fraction > 0.0 and self._endurance > 0:
+            limit = self._endurance * self.wear_fraction
+            limit *= 1.0 + 0.5 * self._u("wl", gline)
+            if wear > limit:
+                return "wear"
+        if self.rot_mtbf_ns > 0.0:
+            gen = self._gen.get(gline, 0)
+            u = self._u("rot", gline, gen)
+            deadline = self._born_ns.get(gline, self._attach_ns)
+            deadline += self.rot_mtbf_ns * -math.log(1.0 - u)
+            if now_ns >= deadline:
+                return "rot"
+        if self.transient_rate > 0.0:
+            n = self._reads.get(gline, 0)
+            self._reads[gline] = n + 1
+            if self._u("tr", gline, n) < self.transient_rate:
+                return "transient"
+        return None
+
+
 class MemoryDevice:
-    """Charges a :class:`SimClock` for accesses and tracks per-slot wear.
+    """Charges a :class:`SimClock` for accesses and tracks per-line wear.
 
     Parameters
     ----------
@@ -68,8 +170,11 @@ class MemoryDevice:
     clock:
         The simulated clock to charge.  A rank's arenas share one clock.
     track_wear:
-        When true, keeps a per-record write counter so benches can report
-        endurance headroom (writes/slot vs ``spec.endurance_writes``).
+        When true, keeps a per-cache-line write counter so benches can report
+        endurance headroom (writes/line vs ``spec.endurance_writes``) and the
+        media-fault model can trigger wear-out faults.  Wear is indexed by
+        *global line id* (``slot * LINES_PER_RECORD + line``): a multi-line
+        write ages every line it spans, not just the record's first.
     """
 
     def __init__(self, spec: DeviceSpec, clock: SimClock, track_wear: bool = True):
@@ -77,6 +182,8 @@ class MemoryDevice:
         self.clock = clock
         self.stats = DeviceStats()
         self.track_wear = track_wear
+        #: attached MediaFaultModel, or None (the common, zero-overhead case)
+        self.fault_model: Optional[MediaFaultModel] = None
         self._wear = np.zeros(0, dtype=np.int64)
         self._category = Category.MEM_DRAM if spec.volatile else Category.MEM_NVBM
         #: depth of nested unmetered() sections; >0 suppresses all charging
@@ -139,8 +246,16 @@ class MemoryDevice:
             self._m_bytes_read.inc(nbytes)
             self._m_lines.inc(lines)
 
-    def on_write(self, nbytes: int, slot: int = -1, lines: int = 0) -> None:
-        """Charge one write of ``nbytes``; bump wear for ``slot`` if tracked."""
+    def on_write(self, nbytes: int, slot: int = -1, lines: int = 0,
+                 line0: int = 0) -> None:
+        """Charge one write of ``nbytes``; age every spanned line of ``slot``.
+
+        ``line0`` is the first record-relative cache line the write touches
+        (0 for whole-record writes; field writes pass ``offset // 64``).
+        Each of the ``lines`` spanned lines gets its own wear bump — a
+        2-line record write ages both lines, a 1-byte flag flip only the
+        line holding it.
+        """
         if self._unmetered:
             return
         if lines <= 0:
@@ -154,23 +269,58 @@ class MemoryDevice:
             self._m_bytes_written.inc(nbytes)
             self._m_lines.inc(lines)
         if self.track_wear and slot >= 0:
-            if slot >= self._wear.size:
-                grown = np.zeros(max(slot + 1, 2 * self._wear.size, 1024), dtype=np.int64)
+            base = slot * LINES_PER_RECORD + line0
+            end = base + lines
+            if end > self._wear.size:
+                grown = np.zeros(max(end, 2 * self._wear.size, 1024), dtype=np.int64)
                 grown[: self._wear.size] = self._wear
                 self._wear = grown
-            self._wear[slot] += 1
+            self._wear[base:end] += 1
+            if self.fault_model is not None:
+                now = self.clock.now_ns
+                for g in range(base, end):
+                    self.fault_model.note_write(g, now)
+
+    # -- media faults ------------------------------------------------------
+
+    def attach_fault_model(self, model: MediaFaultModel) -> None:
+        """Arm a media-fault model against this device's lines."""
+        model._endurance = self.spec.endurance_writes
+        model._attach_ns = self.clock.now_ns
+        self.fault_model = model
+
+    def check_media(self, slot: int, line0: int = 0, lines: int = 0) -> None:
+        """Raise :class:`UncorrectableError` if a metered read of ``slot``'s
+        lines ``[line0, line0 + lines)`` hits a media fault.
+
+        Free when no fault model is attached (single attribute test) and
+        skipped entirely inside :meth:`unmetered` inspection blocks —
+        measurement probes never trip media faults.
+        """
+        fm = self.fault_model
+        if fm is None or self._unmetered:
+            return
+        if lines <= 0:
+            lines = LINES_PER_RECORD
+        base = slot * LINES_PER_RECORD + line0
+        now = self.clock.now_ns
+        for g in range(base, base + lines):
+            wear = int(self._wear[g]) if g < self._wear.size else 0
+            kind = fm.check(g, now, wear)
+            if kind is not None:
+                raise UncorrectableError(self.spec.name, slot, kind, lines=(g,))
 
     # -- wear reporting ----------------------------------------------------
 
     def wear_max(self) -> int:
-        """Highest write count seen on any single record slot."""
+        """Highest write count seen on any single cache line."""
         return int(self._wear.max()) if self._wear.size else 0
 
     def wear_total(self) -> int:
         return int(self._wear.sum()) if self._wear.size else 0
 
     def wear_headroom(self) -> float:
-        """Fraction of the endurance budget left on the most-worn slot."""
+        """Fraction of the endurance budget left on the most-worn line."""
         if self.spec.endurance_writes <= 0:
             return 0.0
         return 1.0 - self.wear_max() / self.spec.endurance_writes

@@ -55,6 +55,16 @@ MIGRATE_RECOVER_MID = "migrate.recover.mid"
 #: these; recovery must re-drive or roll back cleanly at each).
 MIGRATE_SITES = (MIGRATE_PRE_PUBLISH, MIGRATE_MID_BATCH, MIGRATE_PRE_RETIRE)
 
+# -- media repair (scrub / relocate / retire) ---------------------------------
+MEDIA_REPAIR_PRE_PUBLISH = "media.repair.pre_publish"
+MEDIA_REPAIR_PRE_RETIRE = "media.repair.pre_retire"
+MEDIA_SCRUB_MID = "media.scrub.mid"
+
+#: The repair ladder's sites in protocol order (sweep/chaos iterate these;
+#: a crash at any of them must leave a consistent, recoverable tree).
+MEDIA_SITES = (MEDIA_REPAIR_PRE_PUBLISH, MEDIA_REPAIR_PRE_RETIRE,
+               MEDIA_SCRUB_MID)
+
 # -- replication --------------------------------------------------------------
 REPLICA_BEFORE_PUBLISH = "replica.before_publish"
 REPLICA_SHIP_BEFORE_SEND = "replica.ship.before_send"
@@ -87,6 +97,12 @@ DESCRIPTIONS: Dict[str, str] = {
                         "sender octants not yet retired",
     MIGRATE_RECOVER_MID: "mid migration recovery: some journal batches "
                          "re-driven or rolled back, the rest untouched",
+    MEDIA_REPAIR_PRE_PUBLISH: "repair chain relocated and flushed, root "
+                              "republish not yet stored",
+    MEDIA_REPAIR_PRE_RETIRE: "repaired root republished, bad record not yet "
+                             "retired/freed",
+    MEDIA_SCRUB_MID: "mid scrub pass: some bad records repaired and "
+                     "republished, the rest still faulty",
     REPLICA_BEFORE_PUBLISH: "replica materialised and flushed, root not set",
     REPLICA_SHIP_BEFORE_SEND: "delta computed and sequenced, nothing sent",
     REPLICA_SHIP_AFTER_APPLY: "peer applied the delta, ack not yet delivered",
@@ -144,6 +160,9 @@ for _name, _module, _bracket in (
     (MIGRATE_MID_BATCH, "repro.parallel.partition", "publish-retire"),
     (MIGRATE_PRE_RETIRE, "repro.parallel.partition", "publish-retire"),
     (MIGRATE_RECOVER_MID, "repro.parallel.partition", "publish-retire"),
+    (MEDIA_REPAIR_PRE_PUBLISH, "repro.core.recovery", "mutate-publish"),
+    (MEDIA_REPAIR_PRE_RETIRE, "repro.core.recovery", "publish-retire"),
+    (MEDIA_SCRUB_MID, "repro.core.recovery", "mutate-publish"),
     (REPLICA_BEFORE_PUBLISH, "repro.core.replication", "mutate-publish"),
     (REPLICA_SHIP_BEFORE_SEND, "repro.core.replication", "protocol"),
     (REPLICA_SHIP_AFTER_APPLY, "repro.core.replication", "protocol"),

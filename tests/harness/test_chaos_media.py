@@ -1,0 +1,87 @@
+"""Media-fault chaos: schedule determinism, repair under load, degradation."""
+
+import json
+
+from repro.harness.chaos import (
+    _EVENT_KINDS,
+    _MEDIA_EVENT_KINDS,
+    derive_schedule,
+    run_chaos,
+    run_trial,
+)
+
+_PLAIN_KINDS = {kind for kind, _ in _EVENT_KINDS}
+_MEDIA_KINDS = {kind for kind, _ in _MEDIA_EVENT_KINDS}
+
+
+def test_plain_schedules_never_contain_media_events():
+    for trial in range(8):
+        sched = derive_schedule(0, trial, steps=10)
+        assert not sched.media
+        assert {e.kind for e in sched.events} <= _PLAIN_KINDS
+
+
+def test_media_flag_does_not_perturb_plain_derivation():
+    """Old seeded reproducers must replay byte-identically: media=False
+    derivation is untouched by the media pool's existence."""
+    for trial in range(8):
+        a = derive_schedule(4, trial, steps=10)
+        b = derive_schedule(4, trial, steps=10, media=False)
+        assert a == b
+
+
+def test_media_schedules_are_deterministic_and_mixed():
+    seen = set()
+    for trial in range(12):
+        a = derive_schedule(0, trial, steps=10, media=True)
+        b = derive_schedule(0, trial, steps=10, media=True)
+        assert a == b
+        assert a.media
+        seen |= {e.kind for e in a.events}
+    assert seen & _MEDIA_KINDS        # the pool actually contributes
+    assert seen & _PLAIN_KINDS        # without displacing ordinary faults
+
+
+def test_media_trial_is_deterministic():
+    sched = derive_schedule(0, 6, steps=10, media=True)  # two media_rot events
+    assert {e.kind for e in sched.events} & _MEDIA_KINDS
+    rows = [json.dumps(run_trial(sched).to_row(), sort_keys=True)
+            for _ in range(2)]
+    assert rows[0] == rows[1]
+
+
+def test_rot_and_stuck_under_replication_stay_protected():
+    for trial in (2, 6, 7):  # media_rot / media_stuck mixed with kills
+        sched = derive_schedule(0, trial, steps=10, media=True)
+        result = run_trial(sched)
+        assert result.ok, result.violations
+        assert result.outcome == "protected"
+
+
+def test_peer_loss_then_rot_degrades_explicitly():
+    """Losing the replica and then the primary's medium is unsurvivable —
+    the verdict must be a declared Degraded, never silent corruption."""
+    sched = derive_schedule(0, 8, steps=10, media=True)
+    assert "kill_peer_then_rot" in {e.kind for e in sched.events}
+    result = run_trial(sched)
+    assert result.ok, result.violations
+    assert result.outcome == "degraded"
+    assert "no replica left" in result.degraded_reason
+
+
+def test_media_campaign_small_pass():
+    report = run_chaos(trials=6, seed=3, steps=8, media=True)
+    assert report.ok
+    assert report.reproducer is None
+
+
+def test_media_reproducer_serializes_identically():
+    runs = []
+    for _ in range(2):
+        report = run_chaos(trials=3, seed=0, steps=6, break_acks=True,
+                           media=True)
+        assert report.failed  # broken acks are a genuine protocol bug
+        assert report.reproducer is not None
+        runs.append(json.dumps(report.reproducer, sort_keys=True))
+    assert runs[0] == runs[1]
+    assert "--media" in report.reproducer["command"]
