@@ -288,7 +288,12 @@ class _Analyzer:
             return None
         attr = func.attr
         recv = func.value
-        if attr == "flush" and _receiver_mentions(recv, "nvbm"):
+        if attr in ("flush", "flush_records") and \
+                _receiver_mentions(recv, "nvbm"):
+            # flush_records is the pipeline's selective flush: callers pass
+            # the full dirty snapshot of the epoch being settled, so for
+            # path-sensitive obligation tracking it discharges dirt the
+            # same way the whole-arena flush does.
             return "flush", {}
         if attr in WRITE_ATTRS and _receiver_mentions(recv, "nvbm") \
                 and not _receiver_mentions(recv, "roots"):

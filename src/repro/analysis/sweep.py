@@ -69,14 +69,16 @@ class _Rig:
     """A self-contained single-rank PM-octree test bench."""
 
     def __init__(self, dram_octants: int = 2048, nvbm_octants: int = 1 << 15,
-                 dram_budget: int = 40, strict_epochs: bool = False):
+                 dram_budget: int = 40, strict_epochs: bool = False,
+                 max_inflight: int = 0):
         self.clock = SimClock()
         self.injector = FailureInjector()
         self.dram = MemoryArena(ARENA_DRAM, DRAM_SPEC, self.clock,
                                 dram_octants)
         self.nvbm = MemoryArena(ARENA_NVBM, NVBM_SPEC, self.clock,
                                 nvbm_octants, injector=self.injector)
-        self.config = PMOctreeConfig(dram_capacity_octants=dram_budget)
+        self.config = PMOctreeConfig(dram_capacity_octants=dram_budget,
+                                     max_inflight_epochs=max_inflight)
         self.tree = pm_create(self.dram, self.nvbm, dim=2,
                               config=self.config, injector=self.injector)
         self.tracker = install_tracker(self.nvbm, strict=False,
@@ -160,16 +162,18 @@ def trace_run(steps: int = 10, seed: int = 7,
     """Run the workload un-armed with the ordering tracker watching.
 
     Returns the tracker; a clean library leaves ``tracker.violations``
-    empty.  This is the ``repro analyze --trace`` entry point.
-    ``strict_epochs`` arms the cross-epoch write-after-flush rule — a
-    structural no-op on the synchronous pipeline (at most one persist
-    window is ever open) that becomes the gate for the async one.
+    empty.  This is the ``repro analyze --trace`` entry point.  The rig
+    runs the *asynchronous* epoch pipeline (``max_inflight=1``) so persists
+    genuinely overlap the next step's mutations; ``strict_epochs`` arms the
+    cross-epoch write-after-flush rule over the sealed in-flight windows —
+    the gate that proves overlapped epochs never intermix stores.
     """
-    rig = _Rig(strict_epochs=strict_epochs)
+    rig = _Rig(strict_epochs=strict_epochs, max_inflight=1)
     hot = _setup_workload(rig)
     rig.tree.persist(transform=True)
     for step in range(steps):
         _busy_step(rig, hot, step, seed)
+    rig.tree.drain_persists()
     rig.tree.gc()
     return rig.tracker
 
@@ -233,6 +237,10 @@ def _swap_driver(site: str, max_steps: int, seed: int) -> SweepOutcome:
     for leaf in list(tree.leaves()):
         tree.refine(leaf)
     tree.persist(transform=False)
+    # a raw root-slot exchange is itself a publish: discharge any write
+    # obligations first (under the epoch pipeline, persist() alone only
+    # *enqueues* the flush train)
+    rig.nvbm.flush()
     persisted_sig = _signature(tree)
     before = (rig.nvbm.roots.get(SLOT_PREV), rig.nvbm.roots.get(SLOT_CURR))
 
@@ -694,7 +702,86 @@ def _recover_driver(site: str, max_steps: int, seed: int) -> SweepOutcome:
                         matched="recovery-re-driven")
 
 
+def _epoch_driver(site: str, max_steps: int, seed: int) -> SweepOutcome:
+    """epoch.*: tear the asynchronous persistence pipeline mid-flight.
+
+    The rig runs pipelined (``max_inflight=1``).  Epoch A is persisted and
+    fully drained (so a committed predecessor is always published), epoch B
+    is enqueued and left *in flight*, then a third persist is issued with
+    the site armed — its enqueue path walks every pipeline window in order
+    (the overlap site while B still drains, the backpressure settle of B
+    with its mid-drain and pre-publish sites, then epoch C's own merge and
+    mid-enqueue site).  After the simulated power loss, recovery must land
+    bit-for-bit on epoch B's state (B's drain committed before the tear) or
+    epoch A's (it did not) — never a blend, never anything older.
+    """
+    rig = _Rig(max_inflight=1)
+    tree = rig.tree
+    for _ in range(2):
+        for leaf in list(tree.leaves()):
+            tree.refine(leaf)
+
+    # epoch A: enqueued, then drained to completion -> published
+    for i, leaf in enumerate(sorted(tree.leaves())[:4]):
+        tree.set_payload(leaf, (1.0, float(i), 0.0, 0.0))
+    tree.persist(transform=False)
+    tree.drain_persists()
+    sig_a = _signature(tree)
+
+    # epoch B: enqueued, deliberately left in flight (the signature probe
+    # runs unmetered so it does not burn down B's drain window)
+    for i, leaf in enumerate(sorted(tree.leaves())[:4]):
+        tree.set_payload(leaf, (2.0, float(i), 0.0, 0.0))
+    tree.persist(transform=False)
+    with tree.unmetered_inspection():
+        sig_b = _signature(tree)
+
+    # epoch C: persisted back-to-back so B is still in flight — its persist
+    # call visits every armed pipeline site (overlap while B drains, B's
+    # backpressure settle with the mid-drain and pre-publish sites, then
+    # C's own mid-enqueue site)
+    rig.injector.reset_hits()
+    rig.injector.arm(site, at_hit=1)
+    fired = False
+    try:
+        tree.persist(transform=False)
+        tree.drain_persists()
+    except SimulatedCrash:
+        fired = True
+    violations = len(rig.tracker.violations)
+    if not fired:
+        return SweepOutcome(site=site, fired=False, recovered=None,
+                            violations=violations,
+                            detail="pipelined persist never visited the site")
+
+    rig.crash(seed)
+    try:
+        restored = rig.restore()
+        restored.check_invariants()
+    except ReproError as exc:
+        return SweepOutcome(site=site, fired=True, recovered=False,
+                            violations=violations,
+                            detail=f"recovery failed: {exc}")
+    restored_sig = _signature(restored)
+    if restored_sig == sig_b:
+        matched = "epoch-i"
+    elif restored_sig == sig_a:
+        matched = "epoch-i-1"
+    else:
+        return SweepOutcome(
+            site=site, fired=True, recovered=False, violations=violations,
+            detail="restored state is neither epoch i nor epoch i-1 — "
+                   "a blend or an older version",
+        )
+    return SweepOutcome(site=site, fired=True, recovered=True,
+                        matched=matched, violations=violations)
+
+
 _DRIVERS: Dict[str, Callable[[str, int, int], SweepOutcome]] = {
+    site_registry.EPOCH_OVERLAP_NEXT_STEP: _epoch_driver,
+    site_registry.EPOCH_ENQUEUE_MID: _epoch_driver,
+    site_registry.EPOCH_DRAIN_MID: _epoch_driver,
+    site_registry.EPOCH_COMMIT_PRE_PUBLISH: _epoch_driver,
     site_registry.ROOTS_SWAP_MID: _swap_driver,
     site_registry.MIGRATE_PRE_PUBLISH: _migration_driver,
     site_registry.MIGRATE_MID_BATCH: _migration_driver,

@@ -99,6 +99,11 @@ class _EpochWindow:
     rank: int                  #: arena rank that opened the window
     pending: Set[int]          #: dirty handles snapshotted at open —
     #: the records THIS epoch's flush is responsible for making durable
+    #: A *sealed* window's snapshot is final (the asynchronous pipeline
+    #: enqueued it): stores may no longer touch its pending set even while
+    #: it is the innermost window.  Synchronous persist opens unsealed
+    #: windows, whose own merge stores are legitimately attributed to them.
+    sealed: bool = False
 
     def position(self, handle: int) -> Tuple[int, int, int]:
         return (self.epoch, self.rank, handle)
@@ -165,15 +170,25 @@ class OrderingTracker:
 
     # -- epoch hooks --------------------------------------------------------
 
-    def on_epoch_open(self, rank: int = 0) -> int:
+    def on_epoch_open(self, rank: int = 0, sealed: bool = False,
+                      pending: Set[int] = None) -> int:
         """A persist epoch begins: snapshot the dirty set this epoch's
-        flush is responsible for, and advance the epoch clock."""
+        flush is responsible for, and advance the epoch clock.
+
+        The pipelined enqueue passes ``sealed=True`` (its snapshot is final
+        the moment the epoch is queued — any later store hitting it is a
+        cross-epoch race even before another window opens) and may pass the
+        exact ``pending`` set it enqueued instead of the tracker's dirty
+        snapshot."""
         self._epoch_clock += 1
         self.counts["epochs"] += 1
-        pending = {h for h, st in self._state.items() if st.dirty}
+        if pending is None:
+            pending = {h for h, st in self._state.items() if st.dirty}
+        else:
+            pending = set(pending)
         self._windows.append(
             _EpochWindow(epoch=self._epoch_clock, rank=rank,
-                         pending=pending)
+                         pending=pending, sealed=sealed)
         )
         return self._epoch_clock
 
@@ -193,8 +208,12 @@ class OrderingTracker:
     def _check_epoch_store(self, handle: int) -> None:
         """A store is attributed to the innermost open window; landing on
         a handle an **outer** open window still has pending means the new
-        epoch raced the old epoch's flush set."""
-        for win in self._windows[:-1]:
+        epoch raced the old epoch's flush set.  Sealed windows (pipelined
+        enqueues) are checkable even while innermost: their snapshot is
+        final, so any store into it is a race with the in-flight drain."""
+        for win in self._windows:
+            if not (win.sealed or win is not self._windows[-1]):
+                continue
             if handle in win.pending:
                 current = (self._windows[-1].epoch if self._windows else 0)
                 v = Violation(
@@ -275,7 +294,12 @@ class OrderingTracker:
                     "free-of-published", handle, slot,
                     "freed the record a persistent root slot still names",
                 )
-        # the slot may be recycled: a later store starts a fresh life
+        # the slot may be recycled: a later store starts a fresh life —
+        # and a freed record carries no flush obligation, so drop it from
+        # every open epoch window (otherwise the recycled handle's first
+        # store would read as a cross-epoch race with a dead record)
+        for win in self._windows:
+            win.pending.discard(handle)
         self._state.pop(handle, None)
 
     def on_crash(self) -> None:

@@ -386,7 +386,7 @@ def _cmd_chaos(args) -> int:
 
     report = run_chaos(trials=args.trials, seed=args.seed, steps=args.steps,
                        break_acks=args.break_acks, only_trial=args.trial,
-                       media=args.media)
+                       media=args.media, pipeline=args.pipeline)
 
     if args.json:
         sections = {
@@ -573,6 +573,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--media", action="store_true",
                    help="mix NVBM media-fault events (rot/stuck lines, "
                         "peer-loss-then-rot) into the schedules")
+    p.add_argument("--pipeline", action="store_true",
+                   help="mix mid-drain kills of the asynchronous epoch "
+                        "pipeline into the schedules")
     p.add_argument("--json", action="store_true",
                    help="emit one machine-readable JSON report")
     p.set_defaults(func=_cmd_chaos)

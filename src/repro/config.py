@@ -163,7 +163,11 @@ class PMOctreeConfig:
     ``threshold_nvbm`` are the free-space fractions below which eviction
     merging / on-demand GC trigger; ``t_transform`` is the Ratio_access
     threshold for a layout transformation; ``n_sample_max`` caps the
-    feature-directed sample size (``N_sample = min(100, size)`` in §3.3).
+    feature-directed sample size (``N_sample = min(100, size)`` in §3.3);
+    ``max_inflight_epochs`` bounds the asynchronous persist pipeline's
+    in-flight window (0 = synchronous stop-the-world persist, the
+    byte-identical legacy behaviour; >= 1 enables background epoch drains
+    with backpressure, see :mod:`repro.core.pipeline`).
     """
 
     dram_capacity_octants: int = 4096
@@ -173,6 +177,7 @@ class PMOctreeConfig:
     t_transform: float = 1.5
     n_sample_max: int = 100
     replication: bool = False
+    max_inflight_epochs: int = 0
     seed: int = 2017
 
 

@@ -98,6 +98,10 @@ def merge_subtree(pmo: "PMOctree", root_loc: int,
             children=child_handles,
         )
         merged[loc] = pmo.nvbm.new_octant(new_rec)
+        if origin is not None:
+            # the shadow was rewritten: the old origin leaves the working
+            # version but published predecessors may still reference it
+            pmo._detach(origin)
         pmo.injector.site(sites.MERGE_OCTANT)
     pmo.stats.merges += 1
     pmo._obs_count("pm.merges")

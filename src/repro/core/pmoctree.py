@@ -92,6 +92,9 @@ class PMOctree:
     #: same __new__ reason, and so the hot path is one attribute test
     _m_partial_reads = None
     _m_partial_writes = None
+    #: attached EpochPipeline (asynchronous persistence); None means the
+    #: synchronous persist path — class-level for the __new__ reason above
+    _pipeline = None
 
     def __init__(self, dram: MemoryArena, nvbm: MemoryArena, dim: int = 2,
                  config: Optional[PMOctreeConfig] = None,
@@ -124,6 +127,19 @@ class PMOctree:
         self._origin: Dict[int, int] = {}
         self._dirty: Set[int] = set()
         self._superseded: List[int] = []
+        #: NVBM records that left the working version *without* being COW
+        #: originals (coarsened old-epoch children, merge-replaced origins).
+        #: They are still reachable from published predecessor versions, so
+        #: the pipelined GC pins them instead of re-traversing the old tree;
+        #: only maintained when an epoch pipeline is attached (the
+        #: synchronous mark walks V_{i-1} itself and needs no delta).
+        self._detached: List[int] = []
+
+        if self.config.max_inflight_epochs > 0:
+            from repro.core.pipeline import EpochPipeline
+
+            self._pipeline = EpochPipeline(
+                self, max_inflight=self.config.max_inflight_epochs)
 
         # The initial tree is a single root leaf in DRAM (the whole tree is
         # C0 until pressure or a persist pushes octants to NVBM).
@@ -323,7 +339,9 @@ class PMOctree:
             for i, cloc in enumerate(child_locs):
                 self.dram.free(self._index.pop(cloc))
                 self._leaf_set.discard(cloc)
-                self._origin.pop(cloc, None)
+                origin = self._origin.pop(cloc, None)
+                if origin is not None:
+                    self._detach(origin)
                 self._dirty.discard(cloc)
                 rec.children[i] = NULL_HANDLE
             rec.set_leaf(True)
@@ -362,6 +380,10 @@ class PMOctree:
                     self._count_partial_write()
                     self.stats.marked_deleted += 1
                     self._obs_count("pm.marked_deleted")
+                elif origin is not None and self.nvbm.contains(origin):
+                    # old-epoch origin: a published predecessor still
+                    # references it — it merely left the working version
+                    self._detach(origin)
                 continue
             if self.nvbm.read_epoch(ch) == self.epoch:
                 # the child is a leaf, so its flags are exactly FLAG_LEAF;
@@ -370,6 +392,10 @@ class PMOctree:
                 self._count_partial_write()
                 self.stats.marked_deleted += 1
                 self._obs_count("pm.marked_deleted")
+            else:
+                # old-epoch child: shared with V_{i-1}, which still needs
+                # it — record the detach instead of marking
+                self._detach(ch)
         self.injector.site(sites.COARSEN_MID)
         # the parent was a live internal octant (flags == 0): clear its
         # child slots and set the leaf bit without rewriting the record
@@ -381,6 +407,19 @@ class PMOctree:
         self._leaf_set.add(loc)
 
     # --------------------------------------------------------------- COW machinery
+
+    def _detach(self, handle: int) -> None:
+        """Record that an NVBM handle left the working version while still
+        (possibly) shared with a published predecessor.
+
+        Only tracked under the epoch pipeline, where GC marks the old trees
+        by delta-pinning rather than traversal.  Pinning is conservative —
+        a handle that turns out to be current-epoch garbage just survives
+        one extra collection — so callers need not spend metered reads on
+        an exact epoch check.
+        """
+        if self._pipeline is not None:
+            self._detached.append(handle)
 
     def _path_to(self, loc: int) -> List[int]:
         """Locational codes root -> loc."""
@@ -551,11 +590,32 @@ class PMOctree:
         after the completion of the merging operations") and hot C0 subtrees
         stay DRAM-resident across the persist (incremental copying) —
         ``keep_resident`` overrides that default.
+
+        With ``config.max_inflight_epochs > 0`` this is the *enqueue* phase
+        of the asynchronous epoch pipeline: the merge runs now (its state
+        mutations must be visible), but the flush train drains in the
+        background and the returned root is published at the drain's commit
+        point — see :mod:`repro.core.pipeline`.
         """
+        if self._pipeline is not None:
+            with self._obs_span("pm.persist.enqueue", epoch=self.epoch):
+                root = self._pipeline.enqueue(transform, keep_resident)
+            self._obs_count("pm.persists")
+            return root
         with self._obs_span("pm.persist", epoch=self.epoch):
             root = self._persist_impl(transform, keep_resident)
         self._obs_count("pm.persists")
         return root
+
+    def drain_persists(self) -> None:
+        """Barrier: wait out and settle every in-flight persist epoch.
+
+        A no-op on the synchronous path.  Call before a final measurement,
+        a planned shutdown, or anything that must observe the last persist
+        as published.
+        """
+        if self._pipeline is not None:
+            self._pipeline.drain_all()
 
     def _persist_impl(self, transform: bool,
                       keep_resident: Optional[bool]) -> int:
@@ -713,6 +773,8 @@ class PMOctree:
 
     def delete_all(self) -> None:
         """pm_delete: drop every octant on both arenas and reset roots."""
+        if self._pipeline is not None:
+            self._pipeline.reset()
         for h in list(self.dram.live_handles()):
             self.dram.free(h)
         for h in list(self.nvbm.live_handles()):
@@ -725,6 +787,7 @@ class PMOctree:
         self._origin.clear()
         self._dirty.clear()
         self._superseded.clear()
+        self._detached.clear()
 
     # ------------------------------------------------------------------ inspection
 
@@ -769,6 +832,12 @@ class PMOctree:
         """
         with self.unmetered_inspection():
             prev_root = self.nvbm.roots.get(SLOT_PREV)
+            if self._pipeline is not None:
+                # the newest snapshot may still be draining: V_{i-1} is the
+                # last *enqueued* version, not necessarily the published one
+                inflight = self._pipeline.live_roots()
+                if inflight:
+                    prev_root = inflight[-1]
             if prev_root == NULL_HANDLE:
                 return 0.0
             prev = self.reachable_from(prev_root)

@@ -69,6 +69,10 @@ def restore_inplace(pmo: "PMOctree", replica=None, transport=None) -> int:
 
 def _restore_traverse(pmo: "PMOctree") -> int:
     pmo.merging = False
+    if pmo._pipeline is not None:
+        # in-flight epochs died with the volatile caches; their publishes
+        # never happened and must not be replayed against the restored tree
+        pmo._pipeline.reset()
     root = pmo.nvbm.roots.get(SLOT_PREV)
     if root == NULL_HANDLE:
         raise RecoveryError("no persistent version exists (never persisted)")
@@ -87,6 +91,7 @@ def _restore_traverse(pmo: "PMOctree") -> int:
     pmo._origin.clear()
     pmo._dirty.clear()
     pmo._superseded.clear()
+    pmo._detached.clear()
 
     max_epoch = 0
     stack = [(root, morton.ROOT_LOC, 0)]
@@ -167,6 +172,12 @@ def attach_and_restore(dram: MemoryArena, nvbm: MemoryArena, dim: int = 2,
     pmo._origin = {}
     pmo._dirty = set()
     pmo._superseded = []
+    pmo._detached = []
+    if pmo.config.max_inflight_epochs > 0:
+        from repro.core.pipeline import EpochPipeline
+
+        pmo._pipeline = EpochPipeline(
+            pmo, max_inflight=pmo.config.max_inflight_epochs)
     restore_inplace(pmo, replica=replica, transport=transport)
     return pmo
 

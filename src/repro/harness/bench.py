@@ -85,19 +85,23 @@ GATES: List[Dict[str, Any]] = [
     {"metric": "media.scrub_clean_ns", "tolerance": 0.15,
      "direction": "lower"},
     {"metric": "media.repair_ns", "tolerance": 0.25, "direction": "lower"},
+    {"metric": "pipeline.overlap_fraction", "tolerance": 0.05,
+     "direction": "higher"},
+    {"metric": "droplet.stall_ns", "tolerance": 0.25, "direction": "lower"},
 ]
 
 SUITE = "droplet+recovery+replication+partition+media"
 
 
-def _rig(seed: int = 2017, dram_budget: Optional[int] = None):
+def _rig(seed: int = 2017, dram_budget: Optional[int] = None,
+         max_inflight: int = 0):
     """One PM-octree rig on a fresh clock (mirrors the experiment harness)."""
     default_injector().reset()
     clock = SimClock()
     dram = MemoryArena(ARENA_DRAM, DRAM_SPEC, clock, 1 << 16)
     nvbm = MemoryArena(ARENA_NVBM, NVBM_SPEC, clock, 1 << 20)
     cfg = PMOctreeConfig(dram_capacity_octants=dram_budget or (1 << 16),
-                         seed=seed)
+                         seed=seed, max_inflight_epochs=max_inflight)
     tree = pm_create(dram, nvbm, dim=2, config=cfg)
     return clock, dram, nvbm, tree
 
@@ -111,7 +115,7 @@ def bench_droplet(steps: int = 12, max_level: int = 5,
     everything-resident path — otherwise the COW and eviction gates would
     sit on a meaningless zero baseline.
     """
-    clock, dram, nvbm, tree = _rig(dram_budget=96)
+    clock, dram, nvbm, tree = _rig(dram_budget=96, max_inflight=1)
     obs = obs if obs is not None else Observability()
     if obs.metrics.clock is None:
         obs.bind_clock(clock)
@@ -128,6 +132,9 @@ def bench_droplet(steps: int = 12, max_level: int = 5,
                             persistence=persistence)
     sim.obs = obs
     sim.run(steps)
+    # the run is durable only once the last epoch's flush train lands;
+    # residual waits here are genuine stalls (nothing left to hide behind)
+    tree.drain_persists()
     snapshot_wear(obs, nvbm.device, nvbm.name)
     snapshot_clock(obs, clock)
     m = obs.metrics
@@ -154,6 +161,8 @@ def bench_droplet(steps: int = 12, max_level: int = 5,
         "droplet.wear_headroom": nvbm.device.wear_headroom(),
         "droplet.overlap_ratio_min": min(overlaps) if overlaps else 0.0,
         "droplet.trace_spans": float(len(obs.tracer.spans)),
+        "pipeline.overlap_fraction": tree._pipeline.overlap_fraction(),
+        "droplet.stall_ns": tree._pipeline.stats.stall_ns,
     }
 
 

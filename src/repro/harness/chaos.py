@@ -63,6 +63,14 @@ _MEDIA_EVENT_KINDS: Tuple[Tuple[str, int], ...] = (
     ("kill_peer_then_rot", 2),
 )
 
+#: Extra kinds mixed in by ``--pipeline`` runs: the simulated power cord is
+#: pulled while an epoch's flush train is still draining behind the solver,
+#: at one of the ``epoch.*`` crash sites — recovery must land bit-for-bit
+#: on epoch i or epoch i-1, never a blend.
+_PIPELINE_EVENT_KINDS: Tuple[Tuple[str, int], ...] = (
+    ("kill_mid_drain", 2),
+)
+
 
 @dataclass
 class ChaosEvent:
@@ -89,7 +97,7 @@ class ChaosEvent:
             extra = f"x{self.duration}"
             if self.kind == "loss_burst":
                 extra += f"@{self.drop:.2f}"
-        elif self.kind == "kill_migration":
+        elif self.kind in ("kill_migration", "kill_mid_drain"):
             extra = f"[{self.site}]"
         return f"{self.kind}{extra}@{self.step}"
 
@@ -104,6 +112,7 @@ class ChaosSchedule:
     faults: LinkFaults
     events: Tuple[ChaosEvent, ...]
     media: bool = False      #: schedule drawn from the media-fault kind pool
+    pipeline: bool = False   #: schedule drawn from the epoch-pipeline pool
 
     def describe(self) -> str:
         evs = ", ".join(e.describe() for e in self.events) or "none"
@@ -113,12 +122,14 @@ class ChaosSchedule:
 
 
 def derive_schedule(seed: int, trial: int, steps: int = 10,
-                    media: bool = False) -> ChaosSchedule:
+                    media: bool = False,
+                    pipeline: bool = False) -> ChaosSchedule:
     """The schedule for one trial — pure function of ``(seed, trial)``.
 
-    ``media`` widens the kind pool with :data:`_MEDIA_EVENT_KINDS`; with it
-    off the function is byte-for-byte the pre-media derivation, so existing
-    seeded reproducers stay valid.
+    ``media`` widens the kind pool with :data:`_MEDIA_EVENT_KINDS` and
+    ``pipeline`` with :data:`_PIPELINE_EVENT_KINDS`; with both off the
+    function is byte-for-byte the original derivation, so existing seeded
+    reproducers stay valid.
     """
     rng = random.Random(f"chaos:{seed}:{trial}")
     faults = LinkFaults(
@@ -127,7 +138,11 @@ def derive_schedule(seed: int, trial: int, steps: int = 10,
         delay=round(rng.uniform(0.0, 0.30), 3),
         delay_ns=20_000.0,
     )
-    pool = _EVENT_KINDS + _MEDIA_EVENT_KINDS if media else _EVENT_KINDS
+    pool = _EVENT_KINDS
+    if media:
+        pool = pool + _MEDIA_EVENT_KINDS
+    if pipeline:
+        pool = pool + _PIPELINE_EVENT_KINDS
     kinds = [k for k, _ in pool]
     weights = [w for _, w in pool]
     events: List[ChaosEvent] = []
@@ -147,6 +162,10 @@ def derive_schedule(seed: int, trial: int, steps: int = 10,
             from repro.nvbm import sites as site_registry
 
             ev.site = rng.choice(site_registry.MIGRATE_SITES)
+        elif kind == "kill_mid_drain":
+            from repro.nvbm import sites as site_registry
+
+            ev.site = rng.choice(site_registry.EPOCH_SITES)
         elif kind in ("media_rot", "media_stuck", "kill_peer_then_rot"):
             # drop doubles as the deterministic victim selector: the event
             # targets published record floor(drop * n) of the sorted set
@@ -154,7 +173,8 @@ def derive_schedule(seed: int, trial: int, steps: int = 10,
         events.append(ev)
     events.sort(key=lambda e: (e.step, e.kind))
     return ChaosSchedule(seed=seed, trial=trial, steps=steps,
-                         faults=faults, events=tuple(events), media=media)
+                         faults=faults, events=tuple(events), media=media,
+                         pipeline=pipeline)
 
 
 @dataclass
@@ -232,6 +252,26 @@ class _TrialState:
     def note_acked_if_protected(self) -> None:
         if self.session is not None and self.session.protected:
             self.last_acked_idx = len(self.history) - 1
+
+
+def _exercise_mid_drain_kill(site: str, seed: int, result) -> None:
+    """Pull the cord at an ``epoch.*`` site while a flush train drains.
+
+    Runs the epoch-overlap sweep driver on a fresh pipelined mini-rig:
+    epoch A is persisted and fully drained, epoch B is left in flight, and
+    a third persist tears at ``site``.  Recovery must land bit-for-bit on
+    epoch i or epoch i-1 — any blend, any older version, or a site that
+    never fires is a trial violation.
+    """
+    from repro.analysis.sweep import _epoch_driver
+
+    out = _epoch_driver(site, max_steps=8, seed=seed)
+    if not out.fired:
+        result.violations.append(f"{site}: mid-drain kill never fired")
+    elif not out.recovered or out.matched not in ("epoch-i", "epoch-i-1"):
+        result.violations.append(
+            f"{site}: recovery landed on neither epoch i nor i-1 "
+            f"({out.detail or out.matched})")
 
 
 def _exercise_migration_kill(cluster, tree, site: str, result) -> None:
@@ -497,6 +537,16 @@ def run_trial(schedule: ChaosSchedule, break_acks: bool = False,
                 cluster.kill_node(cluster.ranks[st.replica_peer].node)
             dead = st.host_rank
             cluster.kill_node(cluster.ranks[dead].node)
+            if not any(c.alive for c in cluster.ranks):
+                # total cluster loss: nobody is left to run a detector or
+                # drive recovery — a declared degradation, not a harness
+                # invariant breach (same contract as media loss with no
+                # replica: the loss is loud, never silent)
+                st.degraded = Degraded(
+                    reason=f"every rank dead at step {step}: no surviving "
+                           "observer to detect or recover the host",
+                    lost_locs=[])
+                return
             if not _detect_failure(cluster, dead):
                 result.violations.append(
                     f"detector never suspected dead rank {dead}")
@@ -535,6 +585,9 @@ def run_trial(schedule: ChaosSchedule, break_acks: bool = False,
             open_windows.append((step + ev.duration, w))
         elif ev.kind == "kill_migration":
             _exercise_migration_kill(cluster, st.tree, ev.site, result)
+        elif ev.kind == "kill_mid_drain":
+            _exercise_mid_drain_kill(
+                ev.site, schedule.seed * 8191 + schedule.trial, result)
         elif ev.kind == "loss_burst":
             burst = LinkFaults(drop=ev.drop)
             targets = [c.rank for c in cluster.ranks
@@ -677,16 +730,19 @@ class ChaosReport:
 def run_chaos(trials: int = 25, seed: int = 0, steps: int = 10,
               break_acks: bool = False,
               only_trial: Optional[int] = None,
-              media: bool = False) -> ChaosReport:
+              media: bool = False,
+              pipeline: bool = False) -> ChaosReport:
     """Run ``trials`` seeded trials; shrink the first failure found.
 
     ``only_trial`` replays a single trial index (the reproducer path);
-    ``media`` mixes NVBM media-fault events into the schedules.
+    ``media`` mixes NVBM media-fault events into the schedules and
+    ``pipeline`` mixes mid-drain kills of the epoch persistence pipeline.
     """
     report = ChaosReport(seed=seed, trials=[], break_acks=break_acks)
     indices = [only_trial] if only_trial is not None else range(trials)
     for t in indices:
-        schedule = derive_schedule(seed, t, steps=steps, media=media)
+        schedule = derive_schedule(seed, t, steps=steps, media=media,
+                                   pipeline=pipeline)
         result = run_trial(schedule, break_acks=break_acks)
         report.trials.append(result)
         if not result.ok and report.reproducer is None:
@@ -697,6 +753,8 @@ def run_chaos(trials: int = 25, seed: int = 0, steps: int = 10,
                 cmd += " --break-acks"
             if media:
                 cmd += " --media"
+            if pipeline:
+                cmd += " --pipeline"
             report.reproducer = {
                 "seed": seed,
                 "trial": t,

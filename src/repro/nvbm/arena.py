@@ -437,6 +437,15 @@ class MemoryArena:
     def dirty_records(self) -> int:
         return len(self._cache)
 
+    def dirty_handles(self) -> list:
+        """Handles of every record currently dirty in the write-back cache.
+
+        The epoch pipeline snapshots this at enqueue time: the set is
+        exactly what the drain phase must make durable before the epoch's
+        root may be published.
+        """
+        return [make_handle(self.arena_id, idx) for idx in self._cache]
+
     def flush(self) -> None:
         """Persist every dirty cached record (persist-point fence).
 
@@ -445,12 +454,16 @@ class MemoryArena:
         seal table.  Only a completed flush seals — bytes torn onto the
         medium by a crash carry no integrity claim.
         """
-        self.device.clock.advance(FENCE_NS, self.device._category)
+        if not self.device._unmetered:
+            self.device.clock.advance(FENCE_NS, self.device._category)
         if self.tracer is not None:
             self.tracer.on_flush(
                 [make_handle(self.arena_id, idx) for idx in self._cache]
             )
-        if self._m_flush_calls is not None:
+        # unmetered means *all* charging is suppressed, stats included: the
+        # epoch pipeline pre-charges its fences through the drain cost model
+        # and replays the flush here only for its durability effect.
+        if self._m_flush_calls is not None and not self.device._unmetered:
             self._m_flush_calls.inc()
             self._m_flush_records.inc(len(self._cache))
         self._backing.update(self._cache)
@@ -459,6 +472,34 @@ class MemoryArena:
                 self._sealed[idx] = record_crc(data)
         self._cache.clear()
         self._dirty_lines.clear()
+
+    def flush_records(self, handles) -> None:
+        """Persist (and seal) exactly the given records, leaving the rest
+        of the write-back cache dirty.
+
+        The selective analogue of :meth:`flush` for the epoch pipeline: an
+        in-flight epoch drains only the records *it* snapshotted, so a
+        later epoch's still-cooking stores are not prematurely persisted
+        (which would re-order durability across epochs).  Handles that are
+        no longer cached (already flushed, or freed by GC) are skipped.
+        """
+        idxs = [index_of(h) for h in handles
+                if arena_of(h) == self.arena_id and index_of(h) in self._cache]
+        if not self.device._unmetered:
+            self.device.clock.advance(FENCE_NS, self.device._category)
+        if self.tracer is not None:
+            self.tracer.on_flush(
+                [make_handle(self.arena_id, idx) for idx in idxs]
+            )
+        if self._m_flush_calls is not None and not self.device._unmetered:
+            self._m_flush_calls.inc()
+            self._m_flush_records.inc(len(idxs))
+        for idx in idxs:
+            data = self._cache.pop(idx)
+            self._backing[idx] = data
+            if not self.spec.volatile:
+                self._sealed[idx] = record_crc(data)
+            self._dirty_lines.pop(idx, None)
 
     def crash(self, rng: Optional[np.random.Generator] = None) -> None:
         """Apply power-loss semantics (see module docstring)."""

@@ -188,6 +188,13 @@ class MemoryDevice:
         self._category = Category.MEM_DRAM if spec.volatile else Category.MEM_NVBM
         #: depth of nested unmetered() sections; >0 suppresses all charging
         self._unmetered = 0
+        #: active deferred-writes sink, or None.  When set, the *clock*
+        #: charge of each write is redirected into the sink instead of
+        #: advancing the clock — stats, wear, obs and the fault model still
+        #: update, because the stores really happen (write-back model); only
+        #: their device time is deferred, to be drained later as background
+        #: work by the epoch pipeline.  Reads stay synchronous.
+        self._deferred_sink = None
         # bound metric handles (attach_obs); None keeps the hot path a
         # single attribute test per access
         self._m_reads = None
@@ -226,6 +233,28 @@ class MemoryDevice:
         finally:
             self._unmetered -= 1
 
+    @contextmanager
+    def deferred_writes(self, sink) -> Iterator[None]:
+        """Redirect write *time* into ``sink`` for the duration of the block.
+
+        ``sink`` is any object with a mutable ``ns`` attribute (the epoch
+        pipeline passes a :class:`~repro.core.pipeline.DrainCost`).  Inside
+        the block each metered write accumulates ``lines * write_latency_ns``
+        onto ``sink.ns`` instead of advancing the clock; everything else
+        about the write (stats, wear, obs counters, fault-model refresh) is
+        unchanged.  Reads are unaffected — a compute-path read of a cached
+        record is synchronous whether or not its store has drained.
+
+        Nesting replaces the sink for the inner block and restores the
+        outer one on exit.
+        """
+        prev = self._deferred_sink
+        self._deferred_sink = sink
+        try:
+            yield
+        finally:
+            self._deferred_sink = prev
+
     def on_read(self, nbytes: int, lines: int = 0) -> None:
         """Charge one read of ``nbytes`` (one latency per cache line).
 
@@ -263,7 +292,11 @@ class MemoryDevice:
         self.stats.writes += 1
         self.stats.bytes_written += nbytes
         self.stats.lines_written += lines
-        self.clock.advance(lines * self.spec.write_latency_ns, self._category)
+        if self._deferred_sink is not None:
+            self._deferred_sink.ns += lines * self.spec.write_latency_ns
+        else:
+            self.clock.advance(lines * self.spec.write_latency_ns,
+                               self._category)
         if self._m_writes is not None:
             self._m_writes.inc()
             self._m_bytes_written.inc(nbytes)

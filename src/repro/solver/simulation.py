@@ -145,7 +145,13 @@ class DropletSimulation:
                         COMPUTE_NS_PER_LEAF * counters["reads"]
                     )
             if self.persistence is not None:
-                with self._phase("persist"):
+                # "persist.enqueue": the compute-path half of the persist
+                # point.  Background drain time never lands here — the
+                # epoch pipeline charges stalls under its own nested
+                # "persist.drain" phase, so the span tree attributes flush
+                # waits to the drain, not to compute.  The synchronous path
+                # simply spends its whole persist inside this span.
+                with self._phase("persist.enqueue"):
                     self.persistence(self)
         report = StepReport(
             step=self.step_count,

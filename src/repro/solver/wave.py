@@ -187,7 +187,7 @@ class WaveSimulation:
         with self._phase("solve"):
             written = self._sweep()
         if self.persistence is not None:
-            with self._phase("persist"):
+            with self._phase("persist.enqueue"):
                 self.persistence(self)
         report = WaveStepReport(
             step=self.step_count,

@@ -27,7 +27,8 @@ def test_site_fires_and_recovers(outcomes, site):
     assert out.violations == 0
     assert out.matched in ("last-persist", "committed-at-crash",
                            "re-driven", "rolled-back",
-                           "re-driven+rolled-back", "recovery-re-driven")
+                           "re-driven+rolled-back", "recovery-re-driven",
+                           "epoch-i", "epoch-i-1")
     assert out.ok
 
 

@@ -258,3 +258,42 @@ def test_persist_brackets_an_epoch_end_to_end():
     assert tracker.counts["epochs"] >= 2     # one per persisted step
     assert tracker.open_epochs == ()         # every window was closed
     assert tracker.violations == []
+
+
+def test_overlapping_epochs_fixture_is_flagged():
+    """The planted overlap race in the fixtures package is caught, and the
+    clean COW-shaped variant is not — the regression guard for the
+    vector-clock checker itself."""
+    from tests.analysis.fixtures.overlapping_epochs import oe_clean, oe_race
+
+    tracker = OrderingTracker(strict=False)
+    h = 0x1000010
+    sealed = oe_race(tracker, h)
+    assert [v.kind for v in tracker.violations] == ["cross-epoch-waf"]
+    assert f"({sealed}, 0, {h})" in tracker.violations[0].detail
+
+    clean = OrderingTracker(strict=False, strict_epochs=True)
+    oe_clean(clean, 0x1000020)
+    assert clean.violations == []
+
+
+def test_injected_cross_epoch_write_on_live_pipeline():
+    """An injected raw store into an in-flight epoch's snapshot, on a real
+    pipelined tree with the tracker installed, raises under strict-epochs
+    — the end-to-end form of the fixture's race."""
+    from repro.analysis.sweep import _Rig
+
+    rig = _Rig(strict_epochs=True, max_inflight=1)
+    tree = rig.tree
+    for leaf in list(tree.leaves()):
+        tree.refine(leaf)
+    for i, leaf in enumerate(sorted(tree.leaves())[:4]):
+        tree.set_payload(leaf, (float(i), 1.0, 0.0, 0.0))
+    tree.persist(transform=False)          # epoch enqueued, still in flight
+    pending = tree._pipeline._queue[0].pending
+    assert pending, "enqueued epoch must carry a dirty snapshot"
+    victim = pending[0]
+    payload = rig.nvbm.read_payload(victim)
+    with pytest.raises(OrderingViolationError, match="cross-epoch-waf"):
+        rig.nvbm.write_payload(victim, payload)
+    tree._pipeline.reset()                 # do not leak the armed window

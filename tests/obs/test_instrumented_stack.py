@@ -83,8 +83,8 @@ def test_simulation_spans_nest_under_step(rig):
     for sp in steps:
         child_names = {c.name for c in obs.tracer.children_of(sp)}
         assert {"sim.refine", "sim.balance",
-                "sim.solve", "sim.persist"} <= child_names
-    # pm.persist nests under the sim.persist phase span
+                "sim.solve", "sim.persist.enqueue"} <= child_names
+    # pm.persist nests under the compute-path half of the persist point
     persists = obs.tracer.named("pm.persist")
     assert persists
     parent_names = {
@@ -92,7 +92,7 @@ def test_simulation_spans_nest_under_step(rig):
              if s.span_id == p.parent_id)
         for p in persists
     }
-    assert parent_names == {"sim.persist"}
+    assert parent_names == {"sim.persist.enqueue"}
     # span durations are simulated time: the step spans cover the clock
     assert sum(s.duration_ns for s in steps) <= clock.now_ns
 

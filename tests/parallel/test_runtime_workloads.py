@@ -16,7 +16,7 @@ def test_wave_workload_runs():
     ))
     assert res.makespan_s > 0
     assert res.persists == 4
-    for phase in ("construct", "refine", "solve", "persist"):
+    for phase in ("construct", "refine", "solve", "persist.enqueue"):
         assert res.phase_seconds.get(phase, 0.0) > 0.0
 
 
