@@ -27,9 +27,12 @@ surviving a crash.
 from __future__ import annotations
 
 import heapq
+import struct
 from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Set
+
+import numpy as np
 
 from repro.config import PMOctreeConfig
 from repro.errors import ConsistencyError, GCDisabledError, ReproError
@@ -37,7 +40,8 @@ from repro.nvbm import sites
 from repro.nvbm.arena import MemoryArena
 from repro.nvbm.failure import FailureInjector
 from repro.nvbm.pointers import NULL_HANDLE, is_dram, is_nvbm
-from repro.nvbm.records import FLAG_DELETED, FLAG_LEAF, OctantRecord
+from repro.nvbm.records import (FLAG_DELETED, FLAG_LEAF, PAYLOAD_SPAN,
+                                OctantRecord)
 from repro.octree import morton
 from repro.octree.store import Payload, ZERO_PAYLOAD
 
@@ -46,6 +50,8 @@ SLOT_PREV = "V_prev"
 SLOT_CURR = "V_curr"
 
 FeatureFn = Callable[[int, Payload], bool]
+
+_F64 = struct.Struct("<d")
 
 
 @dataclass
@@ -230,6 +236,113 @@ class PMOctree:
         self.nvbm.write_payload(handle, tuple(payload))
         self._count_partial_write()
         self.injector.site(sites.PAYLOAD_PARTIAL)
+
+    # ------------------------------------------------- field-granular access
+
+    def get_field(self, loc: int, slot: int) -> float:
+        """One payload slot — an 8-byte, single-line field read.
+
+        The §5.4 economy applied *inside* the record: a solver probe of one
+        quantity (e.g. a neighbor's VOF) loads and meters 8 bytes, not the
+        whole 32-byte payload."""
+        handle = self.handle_of(loc)
+        self._touch_c0(loc, handle)
+        self._count_partial_read()
+        offset = PAYLOAD_SPAN[0] + 8 * slot
+        data = self._arena_of(handle).read_field(handle, offset, 8)
+        return _F64.unpack(data)[0]
+
+    def set_field(self, loc: int, slot: int, value: float) -> None:
+        """Store one payload slot in place (8-byte field-granular write).
+
+        Same placement semantics as :meth:`set_payload` — DRAM octants
+        update in place, shared NVBM octants copy-on-write first — but the
+        store dirties only the single line the slot lives in."""
+        handle = self.handle_of(loc)
+        self._touch_c0(loc, handle)
+        offset = PAYLOAD_SPAN[0] + 8 * slot
+        data = _F64.pack(value)
+        if is_dram(handle):
+            self.dram.write_field(handle, offset, data)
+            self._count_partial_write()
+            self._dirty.add(loc)
+            self.stats.inplace_updates += 1
+            self._obs_count("pm.inplace_updates")
+            return
+        handle = self._ensure_writable(loc)
+        self.nvbm.write_field(handle, offset, data)
+        self._count_partial_write()
+        self.injector.site(sites.PAYLOAD_PARTIAL)
+
+    # ---------------------------------------------------- batched SoA access
+
+    def _batch_handles(self, locs) -> list:
+        """Resolve + touch handles for a batch, counting n partial reads."""
+        handles = []
+        for loc in locs:
+            handle = self.handle_of(loc)
+            self._touch_c0(loc, handle)
+            handles.append(handle)
+        n = len(handles)
+        if n:
+            self.stats.partial_reads += n
+            if self._m_partial_reads is not None:
+                self._m_partial_reads.inc(n)
+        return handles
+
+    def _split_read(self, handles, out, reader):
+        dram_pos = [i for i, h in enumerate(handles) if is_dram(h)]
+        if dram_pos:
+            out[dram_pos] = reader(self.dram,
+                                   [handles[i] for i in dram_pos])
+        if len(dram_pos) != len(handles):
+            nv_pos = [i for i, h in enumerate(handles) if not is_dram(h)]
+            out[nv_pos] = reader(self.nvbm, [handles[i] for i in nv_pos])
+        return out
+
+    def batch_read_payloads(self, locs) -> np.ndarray:
+        """Payload rows for ``locs`` as an ``(n, 4)`` float64 array.
+
+        Metered exactly like ``n`` :meth:`get_payload` calls: same C0
+        touch and ``pm.partial_reads`` totals, per-record media/CRC
+        verification, and one summed device charge per arena (see
+        :meth:`repro.nvbm.device.MemoryDevice.on_read_batch`)."""
+        handles = self._batch_handles(locs)
+        out = np.empty((len(handles), 4), dtype=np.float64)
+        return self._split_read(
+            handles, out, lambda arena, hs: arena.read_payload_batch(hs))
+
+    def batch_read_fields(self, locs, slot: int) -> np.ndarray:
+        """One payload slot per loc, metered exactly like ``n``
+        :meth:`get_field` calls (8 bytes / 1 line each)."""
+        offset = PAYLOAD_SPAN[0] + 8 * slot
+        handles = self._batch_handles(locs)
+        out = np.empty(len(handles), dtype=np.float64)
+        return self._split_read(
+            handles, out,
+            lambda arena, hs: arena.read_f64_field_batch(hs, offset))
+
+    def batch_set_payloads(self, items) -> None:
+        """Apply ``(loc, payload)`` stores in order with batched charges.
+
+        Each store runs the full scalar :meth:`set_payload` path — COW
+        copies, injector sites, dirty tracking, pm counters, immediate
+        data landing — inside the arenas'
+        :meth:`~repro.nvbm.device.MemoryDevice.batched_writes` scopes, so
+        only the device charges are aggregated (bit-identical totals)."""
+        with self.dram.device.batched_writes(), \
+                self.nvbm.device.batched_writes():
+            for loc, payload in items:
+                self.set_payload(loc, payload)
+
+    def batch_set_fields(self, items, slot: int) -> None:
+        """Apply ``(loc, value)`` single-slot stores in order with batched
+        device charges (the field-granular analogue of
+        :meth:`batch_set_payloads`)."""
+        with self.dram.device.batched_writes(), \
+                self.nvbm.device.batched_writes():
+            for loc, value in items:
+                self.set_field(loc, slot, value)
 
     def get_record(self, loc: int) -> OctantRecord:
         handle = self.handle_of(loc)

@@ -390,6 +390,59 @@ class MemoryArena:
     def write_payload(self, handle: int, payload) -> None:
         self.write_field(handle, PAYLOAD_SPAN[0], pack_payload(payload))
 
+    # batched field reads ---------------------------------------------------
+    #
+    # The SoA gather path loads one field (or the payload) of many records
+    # at once.  Each record still goes through the scalar read's validity
+    # check and — when served from the backing store — media-fault/CRC
+    # verification, in order; only the *device charge* is batched, as one
+    # ``on_read_batch`` carrying the exact per-element totals (n reads,
+    # n * size bytes, n * lines_spanned lines).  Verification runs before
+    # the charge, so under a rot-enabled fault model the deadline check
+    # sees a clock that lags the scalar trajectory by at most the batch's
+    # own read latency; every other device observable is identical.
+
+    def _read_field_chunks(self, handles, offset: int, size: int) -> bytes:
+        nlines = lines_spanned(offset, size)
+        line0 = offset // CACHE_LINE_SIZE
+        verify = self.device.fault_model is not None
+        cache = self._cache
+        backing = self._backing
+        sealed = self._sealed
+        chunks = []
+        for handle in handles:
+            idx = self._check(handle)
+            data = cache.get(idx)
+            if data is None:
+                data = backing.get(idx)
+                if data is not None and (verify or idx in sealed):
+                    self._verify_media(idx, line0, nlines, data)
+            if data is None:
+                raise ConsistencyError(
+                    f"{self.name}: handle {handle:#x} allocated but never "
+                    "written (field access needs an existing record)"
+                )
+            chunks.append(data[offset:offset + size])
+        self.device.on_read_batch(len(chunks), size * len(chunks),
+                                  nlines * len(chunks))
+        return b"".join(chunks)
+
+    def read_payload_batch(self, handles) -> np.ndarray:
+        """Payload rows of many records as an ``(n, 4)`` float64 array.
+
+        Metering-equivalent to ``n`` :meth:`read_payload` calls."""
+        off, size = PAYLOAD_SPAN
+        blob = self._read_field_chunks(handles, off, size)
+        return np.frombuffer(blob, dtype="<f8").reshape(-1, 4)
+
+    def read_f64_field_batch(self, handles, offset: int) -> np.ndarray:
+        """One float64 field at ``offset`` from each record.
+
+        Metering-equivalent to ``n`` ``read_field(handle, offset, 8)``
+        calls (the field-granular single-slot read)."""
+        blob = self._read_field_chunks(handles, offset, 8)
+        return np.frombuffer(blob, dtype="<f8")
+
     def read_epoch(self, handle: int) -> int:
         return unpack_epoch(self.read_field(handle, *EPOCH_SPAN))
 

@@ -160,6 +160,22 @@ class MediaFaultModel:
         return None
 
 
+class _WriteBatch:
+    """Accumulated charges for one :meth:`MemoryDevice.batched_writes` scope."""
+
+    __slots__ = ("count", "nbytes", "lines", "clock_ns", "sink_ns", "sink",
+                 "line_ids")
+
+    def __init__(self):
+        self.count = 0
+        self.nbytes = 0
+        self.lines = 0
+        self.clock_ns = 0.0
+        self.sink_ns = 0.0
+        self.sink = None
+        self.line_ids: list = []
+
+
 class MemoryDevice:
     """Charges a :class:`SimClock` for accesses and tracks per-line wear.
 
@@ -195,6 +211,8 @@ class MemoryDevice:
         #: their device time is deferred, to be drained later as background
         #: work by the epoch pipeline.  Reads stay synchronous.
         self._deferred_sink = None
+        #: active batched-writes accumulator, or None (see batched_writes)
+        self._write_batch = None
         # bound metric handles (attach_obs); None keeps the hot path a
         # single attribute test per access
         self._m_reads = None
@@ -255,6 +273,87 @@ class MemoryDevice:
         finally:
             self._deferred_sink = prev
 
+    @contextmanager
+    def batched_writes(self) -> Iterator[None]:
+        """Aggregate the device charges of every metered write in the block.
+
+        The SoA write-back path wraps its scatter loop in this scope: each
+        ``on_write`` inside it accumulates its count/bytes/lines, its
+        latency (``lines * write_latency_ns``, routed to the active
+        deferred sink or the clock exactly as the unbatched write would
+        be), and its spanned global line ids — then one commit at scope
+        exit applies the summed stats, a single clock advance (or sink
+        add), one obs increment per counter, and a vectorised wear update.
+        All latencies are integer nanoseconds far below 2**53, so the
+        single summed advance is bit-identical to the per-write advance
+        sequence; totals, wear histograms and fault-model refreshes are
+        order-free.  The data path is untouched — stores still land
+        immediately, so crash/tear semantics are unchanged.  The only
+        observable drift is *within* the scope: the clock lags the scalar
+        trajectory until commit, which matters only to a rot-enabled fault
+        model sampling ``now_ns`` mid-batch (see docs/performance.md).
+
+        Nested scopes join the outermost batch.
+        """
+        if self._write_batch is not None:
+            yield
+            return
+        batch = _WriteBatch()
+        self._write_batch = batch
+        try:
+            yield
+        finally:
+            self._write_batch = None
+            self._commit_write_batch(batch)
+
+    def _commit_write_batch(self, b: _WriteBatch) -> None:
+        if not b.count:
+            return
+        self.stats.writes += b.count
+        self.stats.bytes_written += b.nbytes
+        self.stats.lines_written += b.lines
+        if b.sink is not None and b.sink_ns:
+            b.sink.ns += b.sink_ns
+        if b.clock_ns:
+            self.clock.advance(b.clock_ns, self._category)
+        if self._m_writes is not None:
+            self._m_writes.inc(b.count)
+            self._m_bytes_written.inc(b.nbytes)
+            self._m_lines.inc(b.lines)
+        if self.track_wear and b.line_ids:
+            ids = np.asarray(b.line_ids, dtype=np.int64)
+            end = int(ids.max()) + 1
+            if end > self._wear.size:
+                grown = np.zeros(max(end, 2 * self._wear.size, 1024),
+                                 dtype=np.int64)
+                grown[: self._wear.size] = self._wear
+                self._wear = grown
+            np.add.at(self._wear, ids, 1)
+            if self.fault_model is not None:
+                now = self.clock.now_ns
+                for g in b.line_ids:
+                    self.fault_model.note_write(g, now)
+
+    def on_read_batch(self, count: int, nbytes: int, lines: int) -> None:
+        """Charge ``count`` reads totalling ``nbytes`` bytes / ``lines``
+        cache lines in one call.
+
+        Semantically the sum of ``count`` :meth:`on_read` calls: identical
+        stats totals, one clock advance of the summed latency (exact —
+        every per-read charge is an integer number of nanoseconds, so the
+        float sum associates), one obs increment per counter.
+        """
+        if self._unmetered or count <= 0:
+            return
+        self.stats.reads += count
+        self.stats.bytes_read += nbytes
+        self.stats.lines_read += lines
+        self.clock.advance(lines * self.spec.read_latency_ns, self._category)
+        if self._m_reads is not None:
+            self._m_reads.inc(count)
+            self._m_bytes_read.inc(nbytes)
+            self._m_lines.inc(lines)
+
     def on_read(self, nbytes: int, lines: int = 0) -> None:
         """Charge one read of ``nbytes`` (one latency per cache line).
 
@@ -289,6 +388,25 @@ class MemoryDevice:
             return
         if lines <= 0:
             lines = self._lines(nbytes)
+        if self._write_batch is not None:
+            b = self._write_batch
+            b.count += 1
+            b.nbytes += nbytes
+            b.lines += lines
+            ns = lines * self.spec.write_latency_ns
+            sink = self._deferred_sink
+            if sink is not None:
+                if b.sink is not None and b.sink is not sink:
+                    b.sink.ns += b.sink_ns
+                    b.sink_ns = 0.0
+                b.sink = sink
+                b.sink_ns += ns
+            else:
+                b.clock_ns += ns
+            if self.track_wear and slot >= 0:
+                base = slot * LINES_PER_RECORD + line0
+                b.line_ids.extend(range(base, base + lines))
+            return
         self.stats.writes += 1
         self.stats.bytes_written += nbytes
         self.stats.lines_written += lines

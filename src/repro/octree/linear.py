@@ -47,14 +47,16 @@ class LinearOctree:
     def __init__(self, dim: int, locs: Sequence[int],
                  payloads: Optional[np.ndarray] = None,
                  max_level: Optional[int] = None):
+        from repro.solver import soa
+
         self.dim = dim
         locs = list(locs)
+        loc_arr = np.asarray(locs, dtype=np.int64)
+        levels = soa.levels_of_codes(loc_arr, dim)
         if max_level is None:
-            max_level = max((morton.level_of(leaf, dim) for leaf in locs), default=0)
+            max_level = int(levels.max()) if len(levels) else 0
         self.max_level = max_level
-        keys = np.array(
-            [morton.zorder_key(leaf, dim, max_level) for leaf in locs], dtype=np.uint64
-        )
+        keys = soa.zorder_keys(loc_arr, levels, dim, max_level)
         order = np.argsort(keys, kind="stable")
         self.keys = keys[order]
         self.locs = np.array(locs, dtype=np.uint64)[order]
@@ -74,9 +76,14 @@ class LinearOctree:
     def from_tree(cls, tree: AdaptiveTree) -> "LinearOctree":
         """Linearize an adaptive tree's leaves (payloads included)."""
         locs = list(tree.leaves())
-        payloads = np.array([tree.get_payload(leaf) for leaf in locs], dtype=np.float64)
         if not locs:
             payloads = np.zeros((0, 4))
+        elif hasattr(tree, "batch_read_payloads"):
+            # metered exactly like the per-leaf loop (see PMOctree)
+            payloads = tree.batch_read_payloads(locs)
+        else:
+            payloads = np.array([tree.get_payload(leaf) for leaf in locs],
+                                dtype=np.float64)
         return cls(tree.dim, locs, payloads)
 
     def index_of(self, loc: int) -> int:

@@ -99,11 +99,12 @@ def partition_work_weights(lin) -> np.ndarray:
     n = len(lin)
     if n == 0:
         return np.zeros(0, dtype=np.float64)
+    from repro.solver import soa
+
     w = np.ones(n, dtype=np.float64)
     vof = lin.payloads[:, VOF]
     w += np.where((vof > 1e-6) & (vof < 1.0 - 1e-6), INTERFACE_WORK, 0.0)
-    levels = np.array([morton.level_of(int(loc), lin.dim)
-                       for loc in lin.locs], dtype=np.float64)
+    levels = soa.levels_of_codes(lin.locs, lin.dim).astype(np.float64)
     w += CHURN_WORK * levels / max(1, lin.max_level)
     return w
 

@@ -175,6 +175,31 @@ class DropletGeometry:
         pts = self._sample_grid(lo, hi, samples)
         return float(self.liquid_mask(pts, t).mean())
 
+    def vof_of_cells(self, los: np.ndarray, his: np.ndarray, t: float,
+                     samples: int = 3) -> np.ndarray:
+        """Volume fractions of many cells at once.
+
+        Bit-identical to per-cell :meth:`vof_of_cell`: the same cached unit
+        grid, the same per-sample arithmetic applied elementwise, and a
+        per-cell mean whose 0/1 addends sum exactly in any order."""
+        dim = self.config.dim
+        unit = DropletGeometry._unit_grids.get((dim, samples))
+        if unit is None:
+            self._sample_grid([0.0] * dim, [1.0] * dim, samples)
+            unit = DropletGeometry._unit_grids[(dim, samples)]
+        los = np.asarray(los, dtype=np.float64)
+        his = np.asarray(his, dtype=np.float64)
+        pts = los[:, None, :] + unit[None, :, :] * (his - los)[:, None, :]
+        mask = self.liquid_mask(pts.reshape(-1, dim), t)
+        return mask.reshape(len(los), -1).mean(axis=1)
+
+    def vertical_velocities(self, centers: np.ndarray, t: float) -> np.ndarray:
+        """Vertical velocity at many points — ``velocity(p, t)[-1]``
+        elementwise (one shared phase-mask evaluation)."""
+        cfg = self.config
+        mask = self.liquid_mask(np.asarray(centers, dtype=np.float64), t)
+        return np.where(mask, cfg.jet_speed, 0.15 * cfg.jet_speed)
+
     def velocity(self, point: Sequence[float], t: float) -> Tuple[float, ...]:
         """Prescribed velocity: the liquid rides upward at jet speed, the
         ambient gas co-flows weakly."""

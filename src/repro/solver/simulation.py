@@ -26,7 +26,7 @@ from repro.solver.advection import advect_vof, initialize_vof
 from repro.solver.features import change_feature, interface_criterion
 from repro.solver.fields import count_droplets
 from repro.solver.geometry import DropletGeometry
-from repro.solver.poisson import pressure_solve
+from repro.solver.poisson import pressure_solve, smooth_pressure
 
 #: Estimated flop time per leaf per sweep, charged as compute (the memory
 #: traffic is charged exactly by the arenas; this stands in for arithmetic).
@@ -53,7 +53,8 @@ class DropletSimulation:
     def __init__(self, tree: AdaptiveTree, config: Optional[SolverConfig] = None,
                  clock: Optional[SimClock] = None,
                  persistence: Optional[Callable[["DropletSimulation"], None]] = None,
-                 pressure_every: int = 0):
+                 pressure_every: int = 0, vectorized: bool = True,
+                 pressure_smooth: int = 0):
         self.tree = tree
         self.config = config or SolverConfig(dim=tree.dim)
         if self.config.dim != tree.dim:
@@ -62,6 +63,11 @@ class DropletSimulation:
         self.clock = clock
         self.persistence = persistence
         self.pressure_every = pressure_every
+        #: SoA batch kernels when the tree supports them (scalar oracle
+        #: otherwise / when False) — see repro.solver.soa
+        self.vectorized = vectorized
+        #: red-black smoothing sweeps per step (0 = off)
+        self.pressure_smooth = pressure_smooth
         self.step_count = 0
         self.t = 0.0
         self.history: List[StepReport] = []
@@ -136,7 +142,11 @@ class DropletSimulation:
                 balance_tree(self.tree, max_level=self.config.max_level)
             with self._phase("solve"):
                 counters = advect_vof(self.tree, self.geometry, self.config,
-                                      self.t)
+                                      self.t, vectorized=self.vectorized,
+                                      obs=self.obs)
+                if self.pressure_smooth:
+                    smooth_pressure(self.tree, sweeps=self.pressure_smooth,
+                                    vectorized=self.vectorized, obs=self.obs)
                 if self.pressure_every \
                         and self.step_count % self.pressure_every == 0:
                     pressure_solve(self.tree)

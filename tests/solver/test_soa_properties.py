@@ -1,0 +1,243 @@
+"""Seeded property tests for the SoA batch layer.
+
+Three families:
+
+* the vectorised locational-code arithmetic in :mod:`repro.solver.soa` is
+  integer-exact against the scalar :mod:`repro.octree.morton` loops, and
+  ``LeafBatch.find_enclosing`` replicates the scalar
+  ``leaf_neighbor``/``is_leaf`` probe on random adaptive meshes;
+* gather/scatter round-trips: a batch write-back of gathered payloads is a
+  no-op on values, and random payloads written through the batch path read
+  back exactly;
+* metering conservation: a batch of writes charges the memory device
+  *exactly* the sum of the per-element ``lines_spanned`` charges — same
+  counters, same wear, same simulated clock as the scalar loop.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.config import DRAM_SPEC, NVBM_SPEC, PMOctreeConfig
+from repro.core.api import pm_create
+from repro.nvbm.arena import MemoryArena
+from repro.nvbm.clock import SimClock
+from repro.nvbm.device import lines_spanned
+from repro.nvbm.failure import default_injector
+from repro.nvbm.pointers import ARENA_DRAM, ARENA_NVBM
+from repro.octree import morton
+from repro.octree.neighbors import leaf_neighbor
+from repro.octree.tree import PointerOctree
+from repro.solver import soa
+
+MAX_LEVEL = 5
+
+
+def _random_tree(seed: int, dim: int = 2, ops: int = 40):
+    """Random refine/coarsen sequence on a pointer octree."""
+    rng = random.Random(seed)
+    clock = SimClock()
+    tree = PointerOctree(
+        MemoryArena(ARENA_DRAM, DRAM_SPEC, clock, 1 << 14), dim=dim
+    )
+    leaves = {morton.ROOT_LOC}
+    for _ in range(ops):
+        if rng.random() < 0.7:
+            cands = sorted(
+                leaf for leaf in leaves
+                if morton.level_of(leaf, dim) < MAX_LEVEL
+            )
+            if not cands:
+                continue
+            loc = rng.choice(cands)
+            tree.refine(loc)
+            leaves.discard(loc)
+            leaves.update(morton.children_of(loc, dim))
+        else:
+            parents = sorted({
+                morton.parent_of(leaf, dim)
+                for leaf in leaves if leaf != morton.ROOT_LOC
+            })
+            parents = [
+                p for p in parents
+                if all(c in leaves for c in morton.children_of(p, dim))
+            ]
+            if not parents:
+                continue
+            loc = rng.choice(parents)
+            tree.coarsen(loc)
+            for c in morton.children_of(loc, dim):
+                leaves.discard(c)
+            leaves.add(loc)
+    for i, loc in enumerate(sorted(leaves)):
+        tree.set_payload(loc, (rng.random(), float(i), rng.random(), 0.25))
+    return tree
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+@pytest.mark.parametrize("dim", [2, 3])
+def test_code_arithmetic_matches_morton(seed, dim):
+    tree = _random_tree(seed, dim=dim)
+    locs = np.array(sorted(tree.leaves()), dtype=np.int64)
+    levels = soa.levels_of_codes(locs, dim)
+    coords = soa.coords_of_codes(locs, levels, dim)
+    max_level = int(levels.max())
+    keys = soa.zorder_keys(locs, levels, dim, max_level)
+    h, mins, maxs, centers = soa.cell_geometry(coords, levels)
+    rebuilt = soa.locs_from_coords(levels, coords, dim)
+    for i, loc in enumerate(int(v) for v in locs):
+        assert int(levels[i]) == morton.level_of(loc, dim)
+        assert tuple(int(c) for c in coords[i]) == morton.coords_of(loc, dim)
+        assert int(keys[i]) == morton.zorder_key(loc, dim, max_level)
+        assert int(rebuilt[i]) == loc
+        lo, hi = morton.cell_bounds(loc, dim)
+        assert tuple(mins[i]) == lo
+        assert tuple(maxs[i]) == hi
+        assert tuple(centers[i]) == morton.cell_center(loc, dim)
+        assert float(h[i]) == morton.cell_size(loc, dim)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_find_enclosing_matches_leaf_neighbor(seed):
+    """The batched neighbor probe agrees with the scalar walk for every
+    leaf, axis and direction (hits AND misses)."""
+    dim = 2
+    tree = _random_tree(seed, dim=dim)
+    batch = soa.gather(tree, tree.leaves())
+    index_of = {loc: i for i, loc in enumerate(batch.loc_list)}
+    for axis in range(dim):
+        for direction in (-1, 1):
+            ncoords = batch.coords.copy()
+            ncoords[:, axis] += direction
+            span = np.int64(1) << batch.levels
+            in_range = (ncoords[:, axis] >= 0) & (ncoords[:, axis] < span)
+            ncodes = soa.locs_from_coords(
+                batch.levels, np.clip(ncoords, 0, None), dim)
+            nidx = batch.find_enclosing(ncodes, batch.levels)
+            nidx = np.where(in_range, nidx, np.int64(-1))
+            for i, loc in enumerate(batch.loc_list):
+                nb = leaf_neighbor(tree, loc, axis, direction)
+                scalar_hit = nb is not None and tree.is_leaf(nb)
+                if scalar_hit:
+                    assert int(nidx[i]) == index_of[nb]
+                else:
+                    assert int(nidx[i]) == -1
+
+
+def _pm_rig(seed: int = 11):
+    default_injector().reset()
+    clock = SimClock()
+    dram = MemoryArena(ARENA_DRAM, DRAM_SPEC, clock, 1 << 16)
+    nvbm = MemoryArena(ARENA_NVBM, NVBM_SPEC, clock, 1 << 20)
+    cfg = PMOctreeConfig(dram_capacity_octants=24, seed=seed,
+                         max_inflight_epochs=0)
+    tree = pm_create(dram, nvbm, dim=2, config=cfg)
+    return clock, dram, nvbm, tree
+
+
+def _grow(tree, seed: int):
+    """Refine a few random leaves (some evicted to NVBM by the tight
+    budget), persist once so COW paths are live, and seed payloads."""
+    rng = random.Random(seed)
+    for _ in range(3):
+        cands = sorted(
+            leaf for leaf in tree.leaves()
+            if morton.level_of(leaf, 2) < MAX_LEVEL
+        )
+        for loc in rng.sample(cands, min(4, len(cands))):
+            if tree.is_leaf(loc):
+                tree.refine(loc)
+    for i, loc in enumerate(sorted(tree.leaves())):
+        tree.set_payload(loc, (rng.random(), float(i), 0.0, 1.0))
+    tree.persist()
+    tree.drain_persists()
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_gather_scatter_round_trip(seed):
+    clock, dram, nvbm, tree = _pm_rig(seed)
+    _grow(tree, seed)
+    batch = soa.gather(tree, tree.leaves())
+    # write back exactly what was read: values must be unchanged
+    tree.batch_set_payloads(
+        [(loc, tuple(batch.payloads[i]))
+         for i, loc in enumerate(batch.loc_list)])
+    again = soa.gather(tree, tree.leaves())
+    assert again.loc_list == batch.loc_list
+    assert np.array_equal(again.payloads, batch.payloads)
+    # fresh random payloads survive a batch write -> batch read round trip
+    rng = np.random.default_rng(seed)
+    fresh = rng.random((len(batch), 4))
+    tree.batch_set_payloads(
+        [(loc, tuple(fresh[i])) for i, loc in enumerate(batch.loc_list)])
+    assert np.array_equal(
+        soa.gather(tree, tree.leaves()).payloads, fresh)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_batch_metering_equals_scalar_metering(seed):
+    """Twin rigs, same logical writes: the batch path's single aggregated
+    device charge equals the scalar loop's per-element charges in every
+    counter, in wear, and on the simulated clock."""
+    rigs = {}
+    for kind in ("batch", "scalar"):
+        clock, dram, nvbm, tree = _pm_rig(seed)
+        _grow(tree, seed)
+        locs = sorted(tree.leaves())
+        vals = np.random.default_rng(seed + 99).random((len(locs), 4))
+        items = [(loc, tuple(vals[i])) for i, loc in enumerate(locs)]
+        if kind == "batch":
+            tree.batch_set_payloads(items)
+            tree.batch_set_fields(
+                [(loc, float(vals[i][1])) for i, loc in enumerate(locs)], 1)
+            tree.batch_read_payloads(locs)
+            tree.batch_read_fields(locs, 0)
+        else:
+            for loc, payload in items:
+                tree.set_payload(loc, payload)
+            for i, loc in enumerate(locs):
+                tree.set_field(loc, 1, float(vals[i][1]))
+            for loc in locs:
+                tree.get_payload(loc)
+            for loc in locs:
+                tree.get_field(loc, 0)
+        rigs[kind] = (clock, dram, nvbm, tree)
+    cb, db, nb, tb = rigs["batch"]
+    cs, ds, ns, ts = rigs["scalar"]
+    assert db.device.stats == ds.device.stats
+    assert nb.device.stats == ns.device.stats
+    assert np.array_equal(nb.device._wear, ns.device._wear)
+    assert cb.now_ns == cs.now_ns
+
+
+def test_batch_write_charge_is_sum_of_lines_spanned():
+    """The aggregate charge is arithmetically the per-element sum: a whole
+    payload spans ``lines_spanned(16, 32)`` lines, a slot
+    ``lines_spanned(16 + 8*slot, 8)``.  Everything is kept DRAM-resident
+    (generous budget, no persist) so the payload stores are the *only*
+    device traffic — no COW or eviction side-writes to untangle.
+    """
+    default_injector().reset()
+    clock = SimClock()
+    dram = MemoryArena(ARENA_DRAM, DRAM_SPEC, clock, 1 << 16)
+    nvbm = MemoryArena(ARENA_NVBM, NVBM_SPEC, clock, 1 << 20)
+    tree = pm_create(dram, nvbm, dim=2,
+                     config=PMOctreeConfig(dram_capacity_octants=1 << 16))
+    for loc in sorted(tree.leaves()):
+        tree.refine(loc)
+    locs = sorted(tree.leaves())
+    stats = dram.device.stats
+
+    before_lines, before_writes = stats.lines_written, stats.writes
+    tree.batch_set_payloads(
+        [(loc, (0.5, 1.0, 2.0, 3.0)) for loc in locs])
+    assert stats.lines_written - before_lines \
+        == len(locs) * lines_spanned(16, 32)
+    assert stats.writes - before_writes == len(locs)
+
+    before_lines, before_writes = stats.lines_written, stats.writes
+    tree.batch_set_fields([(loc, 7.0) for loc in locs], 1)
+    assert stats.lines_written - before_lines \
+        == len(locs) * lines_spanned(16 + 8 * 1, 8)
+    assert stats.writes - before_writes == len(locs)
